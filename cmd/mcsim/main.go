@@ -1,0 +1,258 @@
+// Command mcsim regenerates the paper's experiments or runs a single
+// custom simulation of the mobile caching system.
+//
+// Regenerate a figure (the experiment numbers match §5 of the paper):
+//
+//	mcsim -exp 1          # Figure 2: caching granularity
+//	mcsim -exp 2          # Figure 3: replacement policies, best case
+//	mcsim -exp 3          # Figure 4: replacement policies, realistic
+//	mcsim -exp 4          # Figures 5+6: CSH change rates and cyclic
+//	mcsim -exp 5          # Figure 7: coherence (beta x U)
+//	mcsim -exp 6          # Figure 8: disconnection (D x V)
+//	mcsim -exp table1     # Table 1: parameter settings
+//	mcsim -exp all        # everything
+//
+// Add -quick for a reduced-scale pass (shorter horizon, sparser grids).
+//
+// Run one custom configuration:
+//
+//	mcsim -run -granularity hc -policy ewma-0.5 -kind NQ -heat csh \
+//	      -arrival bursty -update 0.3 -beta 1 -days 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "experiment to regenerate: 1..6, table1, or all")
+		quick   = flag.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
+		runOne  = flag.Bool("run", false, "run a single custom configuration")
+
+		days    = flag.Float64("days", 0, "simulated days (0 = experiment default)")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		clients = flag.Int("clients", 0, "number of mobile clients (0 = default)")
+		objects = flag.Int("objects", 0, "database objects (0 = default 2000)")
+
+		granularity = flag.String("granularity", "hc", "caching granularity: nc|ac|oc|hc")
+		policy      = flag.String("policy", "ewma-0.5", "replacement policy spec")
+		kind        = flag.String("kind", "AQ", "query kind: AQ|NQ")
+		heat        = flag.String("heat", "sh", "heat pattern: sh|csh|cyclic")
+		changeRate  = flag.Int("change", 500, "CSH hot-set change rate in queries")
+		arrival     = flag.String("arrival", "poisson", "arrival pattern: poisson|bursty")
+		update      = flag.Float64("update", 0.1, "update probability U")
+		beta        = flag.Float64("beta", 0, "coherence staleness tolerance beta")
+		coherenceS  = flag.String("coherence", "lease", "coherence strategy: lease|fixed|ir")
+		fixedLease  = flag.Float64("lease", 0, "fixed-lease duration in seconds (with -coherence fixed)")
+		shed        = flag.Float64("shed", 0, "timeout-heuristic threshold in seconds (0 = off)")
+		disconnect  = flag.Int("disconnected", 0, "number of disconnected clients V")
+		duration    = flag.Float64("hours", 0, "disconnection duration D in hours")
+		traceFile   = flag.String("trace", "", "write a per-query CSV trace to this file (-run only)")
+		replicas    = flag.Int("replicas", 1, "independent replications with consecutive seeds (-run only)")
+		sharedHot   = flag.Int("shared", 0, "shared interest pool size in objects (0 = none)")
+		shareProb   = flag.Float64("shareprob", 0, "probability a pick comes from the shared pool")
+		bcastAttrs  = flag.Int("broadcast", 0, "broadcast the shared pool's top-N attrs (requires -shared)")
+	)
+	flag.Parse()
+
+	switch {
+	case *runOne:
+		cfg, err := buildConfig(*granularity, *policy, *kind, *heat, *arrival,
+			*changeRate, *update, *beta, *disconnect, *duration, *days, *seed, *clients, *objects)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ShedThreshold = *shed
+		cfg.FixedLease = *fixedLease
+		cfg.SharedHotObjects = *sharedHot
+		cfg.SharedHotProb = *shareProb
+		cfg.BroadcastAttrs = *bcastAttrs
+		switch *coherenceS {
+		case "lease":
+			cfg.Coherence = coherence.LeaseStrategy
+		case "fixed":
+			cfg.Coherence = coherence.FixedLeaseStrategy
+		case "ir":
+			cfg.Coherence = coherence.InvalidationReportStrategy
+		default:
+			fatal(fmt.Errorf("unknown coherence strategy %q (want lease|fixed|ir)", *coherenceS))
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			tracer := trace.NewCSV(f)
+			cfg.Tracer = tracer
+			defer func() {
+				if err := tracer.Flush(); err != nil {
+					fatal(err)
+				}
+			}()
+		}
+		if *replicas > 1 {
+			rep := experiment.Replicate(cfg, *replicas)
+			fmt.Println(rep)
+			return
+		}
+		res := experiment.Run(cfg)
+		printResult(res)
+	case *expFlag != "":
+		base := experiment.Config{Seed: *seed, Days: *days, NumClients: *clients, NumObjects: *objects}
+		if *quick && base.Days == 0 {
+			base.Days = 1
+		}
+		if err := runExperiments(*expFlag, base, *quick); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsim:", err)
+	os.Exit(1)
+}
+
+func buildConfig(gran, policy, kind, heat, arrival string, changeRate int,
+	update, beta float64, disconnect int, hours, days float64,
+	seed uint64, clients, objects int) (experiment.Config, error) {
+
+	cfg := experiment.Config{
+		Seed:                seed,
+		Days:                days,
+		NumClients:          clients,
+		NumObjects:          objects,
+		Policy:              policy,
+		CSHChangeEvery:      changeRate,
+		UpdateProb:          update,
+		Beta:                beta,
+		DisconnectedClients: disconnect,
+		DisconnectHours:     hours,
+	}
+	g, err := core.ParseGranularity(gran)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Granularity = g
+
+	switch strings.ToUpper(kind) {
+	case "AQ":
+		cfg.QueryKind = workload.Associative
+	case "NQ":
+		cfg.QueryKind = workload.Navigational
+	default:
+		return cfg, fmt.Errorf("unknown query kind %q (want AQ|NQ)", kind)
+	}
+	switch heat {
+	case "sh":
+		cfg.Heat = experiment.SkewedHeat
+	case "csh":
+		cfg.Heat = experiment.ChangingSkewedHeat
+	case "cyclic":
+		cfg.Heat = experiment.CyclicHeat
+	default:
+		return cfg, fmt.Errorf("unknown heat %q (want sh|csh|cyclic)", heat)
+	}
+	switch arrival {
+	case "poisson":
+		cfg.Arrival = experiment.PoissonArrival
+	case "bursty":
+		cfg.Arrival = experiment.BurstyArrival
+	default:
+		return cfg, fmt.Errorf("unknown arrival %q (want poisson|bursty)", arrival)
+	}
+	return cfg, nil
+}
+
+func printResult(res experiment.Result) {
+	fmt.Printf("config: %s  heat=%s arrivals=%s beta=%g U=%g V=%d D=%gh\n",
+		res.Config, res.Config.HeatName(), res.Config.ArrivalName(),
+		res.Config.Beta, res.Config.UpdateProb,
+		res.Config.DisconnectedClients, res.Config.DisconnectHours)
+	fmt.Printf("hit ratio      %6.2f%%\n", 100*res.HitRatio)
+	fmt.Printf("response time  %6.3fs\n", res.MeanResponse)
+	fmt.Printf("error rate     %6.2f%%\n", 100*res.ErrorRate)
+	fmt.Printf("queries        %d (local %d, remote %d)\n",
+		res.QueriesIssued, res.QueriesLocal, res.QueriesRemote)
+	fmt.Printf("unavailable    %d reads\n", res.Unavailable)
+	fmt.Printf("channels       up %.1f%%, down %.1f%% utilized; down wait %.3fs\n",
+		100*res.UplinkUtilization, 100*res.DownlinkUtilization, res.DownlinkMeanWait)
+	fmt.Printf("server         %d queries, %d disk reads, buffer hit %.1f%%, %d updates\n",
+		res.Server.QueriesServed, res.Server.DiskReads,
+		100*res.Server.BufferHitRatio, res.Server.UpdatesApplied)
+	fmt.Printf("radio energy   %.3f J/query\n", res.RadioEnergyPerQuery)
+	if res.BroadcastReads > 0 {
+		fmt.Printf("air reads      %d (broadcast channel)\n", res.BroadcastReads)
+	}
+	if res.ItemsShed > 0 {
+		fmt.Printf("shed items     %d (timeout heuristic)\n", res.ItemsShed)
+	}
+	if res.CacheDrops > 0 {
+		fmt.Printf("cache drops    %d (missed invalidation reports)\n", res.CacheDrops)
+	}
+}
+
+func runExperiments(which string, base experiment.Config, quick bool) error {
+	type job struct {
+		name string
+		run  func() fmt.Stringer
+	}
+	var jobs []job
+	add := func(name string, run func() fmt.Stringer) {
+		jobs = append(jobs, job{name, run})
+	}
+	wantAll := which == "all"
+	want := func(n string) bool { return wantAll || which == n }
+
+	if want("table1") {
+		add("Table 1", func() fmt.Stringer { return experiment.Table1() })
+	}
+	if want("1") {
+		add("Experiment #1 (Figure 2)", func() fmt.Stringer { return experiment.Exp1(base) })
+	}
+	if want("2") {
+		add("Experiment #2 (Figure 3)", func() fmt.Stringer { return experiment.Exp2(base) })
+	}
+	if want("3") {
+		add("Experiment #3 (Figure 4)", func() fmt.Stringer { return experiment.Exp3(base) })
+	}
+	if want("4") {
+		add("Experiment #4 (Figure 5)", func() fmt.Stringer { return experiment.Exp4(base) })
+		add("Experiment #4 (Figure 6)", func() fmt.Stringer { return experiment.Exp4Cyclic(base) })
+	}
+	if want("5") {
+		add("Experiment #5 (Figure 7)", func() fmt.Stringer { return experiment.Exp5(base) })
+	}
+	if want("6") {
+		if quick {
+			add("Experiment #6 (Figure 8, quick grid)", func() fmt.Stringer { return experiment.Exp6Quick(base) })
+		} else {
+			add("Experiment #6 (Figure 8)", func() fmt.Stringer { return experiment.Exp6(base) })
+		}
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("unknown experiment %q (want 1..6, table1, all)", which)
+	}
+	for _, j := range jobs {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", j.name)
+		fmt.Println(j.run().String())
+		fmt.Printf("(%s in %.1fs)\n\n", j.name, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig("hc", "ewma-0.5", "AQ", "sh", "poisson",
+		500, 0.1, 0, 0, 0, 0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Granularity != core.HybridCaching {
+		t.Fatalf("granularity %v", cfg.Granularity)
+	}
+	if cfg.QueryKind != workload.Associative {
+		t.Fatalf("kind %v", cfg.QueryKind)
+	}
+	if cfg.Heat != experiment.SkewedHeat || cfg.Arrival != experiment.PoissonArrival {
+		t.Fatal("heat/arrival defaults wrong")
+	}
+}
+
+func TestBuildConfigVariants(t *testing.T) {
+	cfg, err := buildConfig("oc", "lru-3", "nq", "cyclic", "bursty",
+		300, 0.3, 1, 4, 5, 2, 9, 5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Granularity != core.ObjectCaching ||
+		cfg.QueryKind != workload.Navigational ||
+		cfg.Heat != experiment.CyclicHeat ||
+		cfg.Arrival != experiment.BurstyArrival {
+		t.Fatalf("config variants wrong: %+v", cfg)
+	}
+	if cfg.DisconnectedClients != 4 || cfg.DisconnectHours != 5 {
+		t.Fatal("disconnection params lost")
+	}
+	if cfg.Days != 2 || cfg.Seed != 9 || cfg.NumClients != 5 || cfg.NumObjects != 500 {
+		t.Fatal("scale params lost")
+	}
+	csh, err := buildConfig("ac", "mean", "AQ", "csh", "poisson",
+		700, 0, 0, 0, 0, 0, 1, 0, 0)
+	if err != nil || csh.Heat != experiment.ChangingSkewedHeat || csh.CSHChangeEvery != 700 {
+		t.Fatalf("csh parse: %+v, %v", csh, err)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	cases := []struct{ gran, kind, heat, arrival string }{
+		{"xx", "AQ", "sh", "poisson"},
+		{"hc", "ZZ", "sh", "poisson"},
+		{"hc", "AQ", "warm", "poisson"},
+		{"hc", "AQ", "sh", "uniform"},
+	}
+	for i, c := range cases {
+		_, err := buildConfig(c.gran, "lru", c.kind, c.heat, c.arrival,
+			500, 0, 0, 0, 0, 0, 1, 0, 0)
+		if err == nil {
+			t.Fatalf("case %d accepted invalid input", i)
+		}
+	}
+}
+
+func TestRunExperimentsUnknown(t *testing.T) {
+	err := runExperiments("banana", experiment.Config{}, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunExperimentsTable1(t *testing.T) {
+	if err := runExperiments("table1", experiment.Config{}, false); err != nil {
+		t.Fatal(err)
+	}
+}

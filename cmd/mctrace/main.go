@@ -1,0 +1,33 @@
+// Command mctrace summarizes a per-query CSV trace produced by
+// `mcsim -run -trace file.csv`: run-level metrics, response-time
+// percentiles, and per-client / per-hour breakdowns.
+//
+//	mcsim -run -granularity hc -arrival bursty -days 1 -trace run.csv
+//	mctrace run.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mctrace <trace.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	records, err := trace.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctrace:", err)
+		os.Exit(1)
+	}
+	trace.Analyze(records).WriteReport(os.Stdout)
+}

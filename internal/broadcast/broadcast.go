@@ -1,0 +1,129 @@
+// Package broadcast implements the push-based dissemination substrate the
+// paper's introduction frames as the complement of its point-to-point
+// design (§1): "items of interest to most mobile clients should be
+// broadcast from a database server to multiple clients while items of
+// interest to single client should be disseminated over dedicated
+// channels on demand."
+//
+// A Program is a flat broadcast disk: a fixed list of database items
+// cycled periodically over a dedicated broadcast channel. The schedule is
+// strictly periodic, so a client needing item x does not tune in
+// continuously — it computes x's next slot and wakes exactly then,
+// spending receive energy only on the slots it consumes. A copy picked up
+// from the air is valid for one cycle (the next revolution would refresh
+// it), which gives broadcast items a natural lease.
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/oodb"
+)
+
+// Program is a periodic flat broadcast schedule.
+type Program struct {
+	items   []oodb.Item
+	slotOf  map[oodb.Item]int
+	slotDur float64 // airtime per item, seconds
+	cycle   float64 // full revolution, seconds
+	start   float64 // first revolution begins here
+}
+
+// New builds a program broadcasting the given items in order over a
+// channel of the given bandwidth, starting at virtual time start. Each
+// slot carries one item framed like a downlink reply entry.
+func New(items []oodb.Item, bandwidthBps, start float64) *Program {
+	if len(items) == 0 {
+		panic("broadcast: a program needs at least one item")
+	}
+	if bandwidthBps <= 0 {
+		panic("broadcast: bandwidth must be positive")
+	}
+	if start < 0 {
+		panic("broadcast: start must be non-negative")
+	}
+	p := &Program{
+		items:  append([]oodb.Item(nil), items...),
+		slotOf: make(map[oodb.Item]int, len(items)),
+		start:  start,
+	}
+	// Slots are fixed-width at the size of the largest item so the
+	// schedule stays strictly periodic (simple flat disk).
+	maxBytes := 0
+	for i, it := range p.items {
+		if _, dup := p.slotOf[it]; dup {
+			panic(fmt.Sprintf("broadcast: duplicate item %v in program", it))
+		}
+		p.slotOf[it] = i
+		if b := network.ReplyEntrySize(it); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	p.slotDur = float64(maxBytes+network.HeaderSize) * 8 / bandwidthBps
+	p.cycle = p.slotDur * float64(len(p.items))
+	return p
+}
+
+// Covers reports whether the program carries item.
+func (p *Program) Covers(it oodb.Item) bool {
+	_, ok := p.slotOf[it]
+	return ok
+}
+
+// Len returns the number of items in one revolution.
+func (p *Program) Len() int { return len(p.items) }
+
+// Cycle returns the revolution period in seconds — also the validity lease
+// of a copy picked off the air.
+func (p *Program) Cycle() float64 { return p.cycle }
+
+// SlotBytes returns the wire size of one slot.
+func (p *Program) SlotBytes() int {
+	return int(p.slotDur * network.WirelessBandwidthBps / 8)
+}
+
+// NextDelivery returns the absolute time at which the next complete
+// transmission of item finishes, for a client that starts listening at
+// `now`: the end of the earliest slot whose *start* is at or after now
+// (a partially missed slot cannot be decoded). It panics if the program
+// does not cover item.
+func (p *Program) NextDelivery(it oodb.Item, now float64) float64 {
+	slot, ok := p.slotOf[it]
+	if !ok {
+		panic(fmt.Sprintf("broadcast: item %v not in program", it))
+	}
+	// Slot ends in revolution k: e_k = start + (slot+1)*slotDur + k*cycle;
+	// catchable iff its start e_k - slotDur >= now. The epsilon absorbs
+	// floating-point drift when a client tunes in exactly at a slot
+	// boundary (e.g. right after consuming the previous slot).
+	const eps = 1e-9
+	e0 := p.start + float64(slot+1)*p.slotDur
+	k := math.Ceil((now - (e0 - p.slotDur) - eps) / p.cycle)
+	if k < 0 {
+		k = 0
+	}
+	return e0 + k*p.cycle
+}
+
+// MeanWait returns the expected waiting time for a uniformly random item
+// request (half a revolution plus one slot) — used for capacity planning
+// and sanity tests.
+func (p *Program) MeanWait() float64 { return p.cycle/2 + p.slotDur }
+
+// HotAttrItems is a helper for assembling programs: the cross product of
+// the given objects with the first nAttrs primitive attributes (the
+// hottest ranks under the workload's skewed attribute distribution).
+func HotAttrItems(objects []oodb.OID, nAttrs int) []oodb.Item {
+	if nAttrs < 1 || nAttrs > oodb.NumPrimAttrs {
+		panic("broadcast: nAttrs out of range")
+	}
+	items := make([]oodb.Item, 0, len(objects)*nAttrs)
+	for _, oid := range objects {
+		for a := 0; a < nAttrs; a++ {
+			items = append(items, oodb.AttrItem(oid, oodb.AttrID(a)))
+		}
+	}
+	return items
+}

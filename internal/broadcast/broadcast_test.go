@@ -1,0 +1,143 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/oodb"
+)
+
+func attrs(n int) []oodb.Item {
+	items := make([]oodb.Item, n)
+	for i := range items {
+		items[i] = oodb.AttrItem(oodb.OID(i), 0)
+	}
+	return items
+}
+
+func TestProgramGeometry(t *testing.T) {
+	p := New(attrs(10), network.WirelessBandwidthBps, 0)
+	if p.Len() != 10 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	slotBytes := network.ReplyEntrySize(oodb.AttrItem(0, 0)) + network.HeaderSize
+	wantSlot := float64(slotBytes) * 8 / network.WirelessBandwidthBps
+	if math.Abs(p.slotDur-wantSlot) > 1e-12 {
+		t.Fatalf("slotDur = %v, want %v", p.slotDur, wantSlot)
+	}
+	if math.Abs(p.Cycle()-10*wantSlot) > 1e-12 {
+		t.Fatalf("Cycle = %v", p.Cycle())
+	}
+	if math.Abs(p.MeanWait()-(p.Cycle()/2+p.slotDur)) > 1e-12 {
+		t.Fatalf("MeanWait = %v", p.MeanWait())
+	}
+}
+
+func TestCovers(t *testing.T) {
+	p := New(attrs(3), 19200, 0)
+	if !p.Covers(oodb.AttrItem(2, 0)) {
+		t.Fatal("program should cover item 2")
+	}
+	if p.Covers(oodb.AttrItem(9, 0)) || p.Covers(oodb.ObjectItem(0)) {
+		t.Fatal("program covers foreign items")
+	}
+}
+
+func TestNextDeliveryFirstRevolution(t *testing.T) {
+	p := New(attrs(4), 19200, 100)
+	d := p.slotDur
+	// Listening from before the program starts: item 0 completes at
+	// start + 1 slot, item 3 at start + 4 slots.
+	if got := p.NextDelivery(oodb.AttrItem(0, 0), 0); math.Abs(got-(100+d)) > 1e-9 {
+		t.Fatalf("item0 = %v, want %v", got, 100+d)
+	}
+	if got := p.NextDelivery(oodb.AttrItem(3, 0), 0); math.Abs(got-(100+4*d)) > 1e-9 {
+		t.Fatalf("item3 = %v, want %v", got, 100+4*d)
+	}
+}
+
+func TestNextDeliveryMissedSlot(t *testing.T) {
+	p := New(attrs(4), 19200, 0)
+	d := p.slotDur
+	it := oodb.AttrItem(1, 0) // slot 1: airs [d, 2d), [d+cycle, 2d+cycle)...
+	// Tuning in exactly at the slot start catches it.
+	if got := p.NextDelivery(it, d); math.Abs(got-2*d) > 1e-9 {
+		t.Fatalf("at slot start: %v, want %v", got, 2*d)
+	}
+	// Tuning in just after the start misses it: next revolution.
+	if got := p.NextDelivery(it, d+1e-6); math.Abs(got-(2*d+p.Cycle())) > 1e-9 {
+		t.Fatalf("after slot start: %v, want %v", got, 2*d+p.Cycle())
+	}
+}
+
+func TestNextDeliveryLateRevolutions(t *testing.T) {
+	p := New(attrs(5), 19200, 0)
+	it := oodb.AttrItem(2, 0)
+	now := 1e6
+	got := p.NextDelivery(it, now)
+	if got < now {
+		t.Fatalf("delivery %v before now %v", got, now)
+	}
+	if got-now > p.Cycle()+p.slotDur {
+		t.Fatalf("wait %v exceeds one cycle", got-now)
+	}
+}
+
+func TestHotAttrItems(t *testing.T) {
+	items := HotAttrItems([]oodb.OID{5, 9}, 3)
+	if len(items) != 6 {
+		t.Fatalf("len = %d", len(items))
+	}
+	if items[0] != oodb.AttrItem(5, 0) || items[5] != oodb.AttrItem(9, 2) {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []func(){
+		func() { New(nil, 19200, 0) },
+		func() { New(attrs(2), 0, 0) },
+		func() { New(attrs(2), 19200, -1) },
+		func() { New([]oodb.Item{oodb.AttrItem(1, 0), oodb.AttrItem(1, 0)}, 19200, 0) },
+		func() { New(attrs(2), 19200, 0).NextDelivery(oodb.AttrItem(7, 3), 0) },
+		func() { HotAttrItems([]oodb.OID{1}, 0) },
+		func() { HotAttrItems([]oodb.OID{1}, 100) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: NextDelivery is never in the past, waits at most one cycle
+// plus one slot, and always lands exactly at a slot boundary for the item.
+func TestQuickNextDelivery(t *testing.T) {
+	f := func(nRaw uint8, slotRaw uint8, nowRaw uint32) bool {
+		n := int(nRaw)%20 + 1
+		p := New(attrs(n), 19200, 50)
+		it := oodb.AttrItem(oodb.OID(int(slotRaw)%n), 0)
+		now := float64(nowRaw) / 16
+		got := p.NextDelivery(it, now)
+		if got < now {
+			return false
+		}
+		if got-now > p.Cycle()+p.slotDur+1e-9 {
+			return false
+		}
+		// Boundary check: got = start + (slot+1)*slotDur + k*cycle.
+		slot := float64(int(slotRaw) % n)
+		k := (got - 50 - (slot+1)*p.slotDur) / p.Cycle()
+		return math.Abs(k-math.Round(k)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

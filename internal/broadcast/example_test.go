@@ -1,0 +1,30 @@
+package broadcast_test
+
+import (
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/network"
+	"repro/internal/oodb"
+)
+
+// A flat broadcast disk: the shared pool's hottest attributes cycle on the
+// air; a client computes the next slot of the item it needs and wakes
+// exactly then.
+func Example() {
+	items := broadcast.HotAttrItems([]oodb.OID{10, 11, 12}, 2) // 6 slots
+	prog := broadcast.New(items, network.WirelessBandwidthBps, 0)
+
+	fmt.Printf("slots per revolution: %d\n", prog.Len())
+	fmt.Printf("cycle: %.3fs\n", prog.Cycle())
+
+	it := oodb.AttrItem(11, 1) // slot 3
+	first := prog.NextDelivery(it, 0)
+	// Tuning in right after a delivery waits one full revolution.
+	second := prog.NextDelivery(it, first+0.001)
+	fmt.Printf("wait after just missing it: %.3fs\n", second-(first+0.001))
+	// Output:
+	// slots per revolution: 6
+	// cycle: 0.262s
+	// wait after just missing it: 0.261s
+}

@@ -1,0 +1,187 @@
+// Package buffer provides the LRU memory buffers used at the server and at
+// each mobile client.
+//
+// §4 of the paper: "LRU is employed for buffer management at the server and
+// the clients since memory buffer replacement is implemented by the
+// operating system." The server buffer holds 500 objects (25% of the
+// database); each client memory buffer holds 30 objects. Storage caching at
+// clients uses the pluggable policies in internal/replacement instead.
+package buffer
+
+// LRU is a fixed-capacity least-recently-used cache over comparable keys.
+// Values travel with the keys so callers can attach metadata (versions,
+// expiry). The zero value is not usable; construct with NewLRU.
+type LRU[K comparable, V any] struct {
+	capacity int
+	entries  map[K]*node[K, V]
+	head     *node[K, V] // most recently used
+	tail     *node[K, V] // least recently used
+
+	hits   uint64
+	misses uint64
+}
+
+type node[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *node[K, V]
+}
+
+// NewLRU returns an empty cache holding at most capacity entries.
+// It panics if capacity <= 0.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		panic("buffer: LRU capacity must be positive")
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*node[K, V], capacity),
+	}
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int { return len(l.entries) }
+
+// Capacity returns the maximum number of entries.
+func (l *LRU[K, V]) Capacity() int { return l.capacity }
+
+// Get looks up key, promoting it to most-recently-used on a hit.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	if n, ok := l.entries[key]; ok {
+		l.hits++
+		l.moveToFront(n)
+		return n.value, true
+	}
+	l.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek looks up key without promoting it and without touching hit counters.
+func (l *LRU[K, V]) Peek(key K) (V, bool) {
+	if n, ok := l.entries[key]; ok {
+		return n.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached, without promotion.
+func (l *LRU[K, V]) Contains(key K) bool {
+	_, ok := l.entries[key]
+	return ok
+}
+
+// Put inserts or updates key, promoting it to most-recently-used. If the
+// cache overflows, the least-recently-used entry is evicted and returned
+// with evicted=true.
+func (l *LRU[K, V]) Put(key K, value V) (evictedKey K, evictedValue V, evicted bool) {
+	if n, ok := l.entries[key]; ok {
+		n.value = value
+		l.moveToFront(n)
+		return evictedKey, evictedValue, false
+	}
+	n := &node[K, V]{key: key, value: value}
+	l.entries[key] = n
+	l.pushFront(n)
+	if len(l.entries) > l.capacity {
+		victim := l.tail
+		l.unlink(victim)
+		delete(l.entries, victim.key)
+		return victim.key, victim.value, true
+	}
+	return evictedKey, evictedValue, false
+}
+
+// Remove deletes key if present, reporting whether it was cached.
+func (l *LRU[K, V]) Remove(key K) bool {
+	n, ok := l.entries[key]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.entries, key)
+	return true
+}
+
+// Oldest returns the least-recently-used key without removing it.
+func (l *LRU[K, V]) Oldest() (K, bool) {
+	if l.tail == nil {
+		var zero K
+		return zero, false
+	}
+	return l.tail.key, true
+}
+
+// Newest returns the most-recently-used key without removing it.
+func (l *LRU[K, V]) Newest() (K, bool) {
+	if l.head == nil {
+		var zero K
+		return zero, false
+	}
+	return l.head.key, true
+}
+
+// Keys returns all keys ordered from most to least recently used.
+func (l *LRU[K, V]) Keys() []K {
+	keys := make([]K, 0, len(l.entries))
+	for n := l.head; n != nil; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}
+
+// Clear removes all entries, preserving hit/miss counters.
+func (l *LRU[K, V]) Clear() {
+	l.entries = make(map[K]*node[K, V], l.capacity)
+	l.head, l.tail = nil, nil
+}
+
+// HitRatio returns hits/(hits+misses) over all Get calls (0 when none).
+func (l *LRU[K, V]) HitRatio() float64 {
+	total := l.hits + l.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.hits) / float64(total)
+}
+
+// Hits returns the number of Get hits.
+func (l *LRU[K, V]) Hits() uint64 { return l.hits }
+
+// Misses returns the number of Get misses.
+func (l *LRU[K, V]) Misses() uint64 { return l.misses }
+
+func (l *LRU[K, V]) pushFront(n *node[K, V]) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU[K, V]) moveToFront(n *node[K, V]) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}

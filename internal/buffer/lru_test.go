@@ -1,0 +1,253 @@
+package buffer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	l := NewLRU[int, string](2)
+	l.Put(1, "a")
+	l.Put(2, "b")
+	if v, ok := l.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	if l.Len() != 2 || l.Capacity() != 2 {
+		t.Fatalf("Len=%d Cap=%d", l.Len(), l.Capacity())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	l := NewLRU[int, int](3)
+	l.Put(1, 0)
+	l.Put(2, 0)
+	l.Put(3, 0)
+	l.Get(1) // promote 1; LRU order now 2,3,1
+	k, _, ev := l.Put(4, 0)
+	if !ev || k != 2 {
+		t.Fatalf("evicted %v (ev=%v), want 2", k, ev)
+	}
+	if l.Contains(2) {
+		t.Fatal("evicted key still present")
+	}
+}
+
+func TestUpdateDoesNotEvict(t *testing.T) {
+	l := NewLRU[int, int](2)
+	l.Put(1, 10)
+	l.Put(2, 20)
+	_, _, ev := l.Put(1, 11) // update in place
+	if ev {
+		t.Fatal("update caused eviction")
+	}
+	if v, _ := l.Peek(1); v != 11 {
+		t.Fatalf("value not updated: %d", v)
+	}
+	// 1 is now MRU; inserting 3 evicts 2.
+	k, _, ev := l.Put(3, 30)
+	if !ev || k != 2 {
+		t.Fatalf("evicted %v, want 2", k)
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	l := NewLRU[int, int](2)
+	l.Put(1, 0)
+	l.Put(2, 0)
+	l.Peek(1)
+	k, _, _ := l.Put(3, 0)
+	if k != 1 {
+		t.Fatalf("evicted %v, want 1 (Peek must not promote)", k)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := NewLRU[int, int](2)
+	l.Put(1, 0)
+	if !l.Remove(1) {
+		t.Fatal("Remove existing returned false")
+	}
+	if l.Remove(1) {
+		t.Fatal("Remove missing returned true")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Removed key must not come back as an eviction victim.
+	l.Put(2, 0)
+	l.Put(3, 0)
+	k, _, ev := l.Put(4, 0)
+	if !ev || k != 2 {
+		t.Fatalf("evicted %v, want 2", k)
+	}
+}
+
+func TestOldestNewestKeys(t *testing.T) {
+	l := NewLRU[int, int](3)
+	if _, ok := l.Oldest(); ok {
+		t.Fatal("Oldest on empty")
+	}
+	if _, ok := l.Newest(); ok {
+		t.Fatal("Newest on empty")
+	}
+	l.Put(1, 0)
+	l.Put(2, 0)
+	l.Put(3, 0)
+	if k, _ := l.Oldest(); k != 1 {
+		t.Fatalf("Oldest = %v", k)
+	}
+	if k, _ := l.Newest(); k != 3 {
+		t.Fatalf("Newest = %v", k)
+	}
+	if !reflect.DeepEqual(l.Keys(), []int{3, 2, 1}) {
+		t.Fatalf("Keys = %v", l.Keys())
+	}
+}
+
+func TestHitCounters(t *testing.T) {
+	l := NewLRU[int, int](2)
+	l.Put(1, 0)
+	l.Get(1)
+	l.Get(2)
+	if l.Hits() != 1 || l.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", l.Hits(), l.Misses())
+	}
+	if l.HitRatio() != 0.5 {
+		t.Fatalf("HitRatio = %v", l.HitRatio())
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	l := NewLRU[int, int](1)
+	if l.HitRatio() != 0 {
+		t.Fatal("HitRatio on untouched cache")
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := NewLRU[int, int](2)
+	l.Put(1, 0)
+	l.Put(2, 0)
+	l.Clear()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", l.Len())
+	}
+	if l.Contains(1) {
+		t.Fatal("entry survived Clear")
+	}
+	// Cache still usable after Clear.
+	l.Put(5, 0)
+	if !l.Contains(5) {
+		t.Fatal("Put after Clear failed")
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	l := NewLRU[int, int](1)
+	l.Put(1, 0)
+	k, _, ev := l.Put(2, 0)
+	if !ev || k != 1 {
+		t.Fatalf("evicted %v", k)
+	}
+	if !l.Contains(2) || l.Contains(1) {
+		t.Fatal("wrong resident set")
+	}
+}
+
+func TestNewLRUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLRU(0) did not panic")
+		}
+	}()
+	NewLRU[int, int](0)
+}
+
+// naiveLRU is a reference model for property testing.
+type naiveLRU struct {
+	cap  int
+	keys []int // most recent first
+}
+
+func (n *naiveLRU) touch(k int) bool {
+	for i, key := range n.keys {
+		if key == k {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.keys = append([]int{k}, n.keys...)
+			return true
+		}
+	}
+	return false
+}
+
+func (n *naiveLRU) put(k int) (evicted int, ok bool) {
+	if n.touch(k) {
+		return 0, false
+	}
+	n.keys = append([]int{k}, n.keys...)
+	if len(n.keys) > n.cap {
+		v := n.keys[len(n.keys)-1]
+		n.keys = n.keys[:len(n.keys)-1]
+		return v, true
+	}
+	return 0, false
+}
+
+// Property: LRU matches a naive reference model under arbitrary op streams,
+// and never exceeds capacity.
+func TestQuickLRUMatchesModel(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw)%5 + 1
+		l := NewLRU[int, int](capacity)
+		model := &naiveLRU{cap: capacity}
+		for _, op := range ops {
+			key := int(op) % 8
+			switch (op / 8) % 3 {
+			case 0: // put
+				gotK, _, gotEv := l.Put(key, key)
+				wantK, wantEv := model.put(key)
+				if gotEv != wantEv || (gotEv && gotK != wantK) {
+					return false
+				}
+			case 1: // get
+				_, got := l.Get(key)
+				want := model.touch(key)
+				if got != want {
+					return false
+				}
+			case 2: // contains (no promotion)
+				got := l.Contains(key)
+				want := false
+				for _, k := range model.keys {
+					if k == key {
+						want = true
+					}
+				}
+				if got != want {
+					return false
+				}
+			}
+			if l.Len() > capacity || l.Len() != len(model.keys) {
+				return false
+			}
+			if !reflect.DeepEqual(l.Keys(), append([]int{}, model.keys...)) &&
+				!(len(l.Keys()) == 0 && len(model.keys) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLRUPutGet(b *testing.B) {
+	l := NewLRU[int, int](500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Put(i%2000, i)
+		l.Get((i * 7) % 2000)
+	}
+}

@@ -1,0 +1,541 @@
+// Package client implements the mobile client of §3–§4: an open-loop query
+// stream processed against a two-level local hierarchy (a 30-object LRU
+// memory buffer over a 400-object storage cache with pluggable
+// replacement), with the lease-based coherence check on every access,
+// remote round trips over the shared wireless channels for misses, and
+// disconnected operation on the local cache.
+//
+// Queries arrive on the workload's schedule whether or not the previous
+// query has completed (the client queues them FIFO); response time is
+// measured from scheduled arrival to completion, which is what lets the
+// Bursty pattern produce the downlink-backlog response times of
+// Experiment #3.
+package client
+
+import (
+	"sort"
+
+	"repro/internal/broadcast"
+	"repro/internal/buffer"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Defaults from §4 / Table 1.
+const (
+	// DefaultStorageObjects is the storage cache size: 20% of the
+	// database, i.e. 400 objects' worth of bytes.
+	DefaultStorageObjects = 400
+	// DefaultMemBufferObjects is the client memory buffer: 30 objects.
+	DefaultMemBufferObjects = 30
+)
+
+// Backend is the client's view of whatever answers its requests: a single
+// database server (*server.Server) or a federation contact server that
+// relays to remote cells (federation.ContactServer).
+type Backend interface {
+	// Process evaluates one request inside process p.
+	Process(p *sim.Proc, req server.Request) server.Reply
+	// Oracle exposes the perfect-knowledge error oracle.
+	Oracle() *coherence.Oracle
+}
+
+// Config parameterizes one mobile client.
+type Config struct {
+	ID     int
+	Kernel *sim.Kernel
+	Server Backend
+	// Up and Down are the shared wireless channels (queries upstream,
+	// results downstream).
+	Up, Down *network.Channel
+	// Granularity selects NC/AC/OC/HC.
+	Granularity core.Granularity
+	// Policy is the storage-cache replacement policy; ignored (may be
+	// nil) under NC.
+	Policy replacement.Policy
+	// StorageBytes overrides the storage cache budget when non-zero.
+	StorageBytes int
+	// MemBufferObjects overrides the memory buffer size when non-zero.
+	MemBufferObjects int
+	// Gen produces the client's queries; Arrival schedules them.
+	Gen     *workload.QueryGen
+	Arrival workload.Arrival
+	// Schedule holds the client's disconnection windows (nil = always
+	// connected).
+	Schedule *network.Schedule
+	// Metrics receives the measurements (required).
+	Metrics *metrics.Client
+	// Seed drives the client's random draws.
+	Seed uint64
+	// Horizon stops query issuing at this virtual time.
+	Horizon float64
+	// ShedThreshold enables the paper's timeout heuristic (§5.3) when
+	// positive: if a reply has queued at the downlink for longer than this
+	// many seconds, its prefetched items are shed before delivery.
+	ShedThreshold float64
+	// Coherence selects the coherence strategy: the paper's adaptive
+	// leases (default), the original fixed-duration Leases scheme, or the
+	// broadcast invalidation-report baseline. Under the report strategy
+	// cached entries never expire on their own; validity is maintained by
+	// ApplyInvalidationReport.
+	Coherence coherence.Strategy
+	// FixedLease is the refresh duration for FixedLeaseStrategy
+	// (coherence.DefaultFixedLease if zero).
+	FixedLease float64
+	// Tracer receives one record per completed query (nil = no tracing).
+	Tracer trace.Tracer
+	// Broadcast is an optional push-based dissemination program (§1 of
+	// the paper): reads covered by the program are answered from the air
+	// instead of the point-to-point channels.
+	Broadcast *broadcast.Program
+	// DiskBandwidthBps / MemoryBandwidthBps override local storage and
+	// memory speeds when non-zero.
+	DiskBandwidthBps   float64
+	MemoryBandwidthBps float64
+}
+
+// Client is one simulated mobile host.
+type Client struct {
+	id          int
+	kernel      *sim.Kernel
+	srv         Backend
+	oracle      *coherence.Oracle
+	up, down    *network.Channel
+	granularity core.Granularity
+
+	store  *core.Cache // nil under NC
+	membuf *buffer.LRU[oodb.Item, core.Entry]
+
+	gen     *workload.QueryGen
+	arrival workload.Arrival
+	sched   *network.Schedule
+	rnd     *rng.Stream
+	m       *metrics.Client
+	horizon float64
+
+	shedThreshold float64
+	shedItems     uint64
+	energyJoules  float64
+
+	coherenceMode coherence.Strategy
+	fixedLease    float64
+	tracer        trace.Tracer
+	bcast         *broadcast.Program
+	bcastReads    uint64
+	irLastSeq     uint64
+	irSynced      bool // whether the client saw the previous report
+	irDrops       uint64
+
+	diskSecPerByte float64
+	memSecPerByte  float64
+}
+
+// New builds a client.
+func New(cfg Config) *Client {
+	if cfg.Kernel == nil || cfg.Server == nil || cfg.Up == nil || cfg.Down == nil {
+		panic("client: Config requires Kernel, Server, Up, Down")
+	}
+	if cfg.Gen == nil || cfg.Arrival == nil || cfg.Metrics == nil {
+		panic("client: Config requires Gen, Arrival, Metrics")
+	}
+	if !cfg.Granularity.Valid() {
+		panic("client: invalid granularity")
+	}
+	if cfg.Horizon <= 0 {
+		panic("client: Horizon must be positive")
+	}
+
+	storageBytes := cfg.StorageBytes
+	if storageBytes == 0 {
+		storageBytes = DefaultStorageObjects * core.ItemCost(oodb.ObjectItem(0))
+	}
+	memObjs := cfg.MemBufferObjects
+	if memObjs == 0 {
+		memObjs = DefaultMemBufferObjects
+	}
+	diskBps := cfg.DiskBandwidthBps
+	if diskBps == 0 {
+		diskBps = network.DiskBandwidthBps
+	}
+	memBps := cfg.MemoryBandwidthBps
+	if memBps == 0 {
+		memBps = network.MemoryBandwidthBps
+	}
+
+	var store *core.Cache
+	if cfg.Granularity != core.NoCache {
+		if cfg.Policy == nil {
+			panic("client: storage caching requires a replacement policy")
+		}
+		store = core.NewCache(storageBytes, cfg.Policy)
+	}
+
+	// The memory buffer holds `memObjs` objects' worth of items; under
+	// attribute granularity the same byte budget fits proportionally more
+	// attribute entries.
+	memEntries := memObjs
+	if cfg.Granularity.UsesAttributeItems() {
+		memEntries = memObjs * oodb.ObjectSize / oodb.AttrSize
+	}
+
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = &network.Schedule{}
+	}
+	fixedLease := cfg.FixedLease
+	if fixedLease == 0 {
+		fixedLease = coherence.DefaultFixedLease
+	}
+	if fixedLease < 0 {
+		panic("client: FixedLease must be positive")
+	}
+
+	return &Client{
+		id:             cfg.ID,
+		kernel:         cfg.Kernel,
+		srv:            cfg.Server,
+		oracle:         cfg.Server.Oracle(),
+		up:             cfg.Up,
+		down:           cfg.Down,
+		granularity:    cfg.Granularity,
+		store:          store,
+		membuf:         buffer.NewLRU[oodb.Item, core.Entry](memEntries),
+		gen:            cfg.Gen,
+		arrival:        cfg.Arrival,
+		sched:          sched,
+		rnd:            rng.Derive(cfg.Seed, 0xc11e47+uint64(cfg.ID)),
+		m:              cfg.Metrics,
+		horizon:        cfg.Horizon,
+		shedThreshold:  cfg.ShedThreshold,
+		coherenceMode:  cfg.Coherence,
+		fixedLease:     fixedLease,
+		tracer:         cfg.Tracer,
+		bcast:          cfg.Broadcast,
+		diskSecPerByte: 8 / diskBps,
+		memSecPerByte:  8 / memBps,
+	}
+}
+
+// Start spawns the client's simulation process.
+func (c *Client) Start() *sim.Proc {
+	return c.kernel.Spawn(c.name(), c.run)
+}
+
+func (c *Client) name() string { return "client" }
+
+// run is the client's open-loop query pump.
+func (c *Client) run(p *sim.Proc) {
+	scheduled := 0.0
+	for {
+		scheduled = c.arrival.Next(c.rnd, scheduled)
+		if scheduled >= c.horizon {
+			return
+		}
+		if p.Now() < scheduled {
+			p.HoldUntil(scheduled)
+		}
+		q := c.gen.Next(c.rnd)
+		c.processQuery(p, q, scheduled)
+	}
+}
+
+// Store exposes the storage cache (nil under NC) for diagnostics.
+func (c *Client) Store() *core.Cache { return c.store }
+
+// ShedItems reports how many prefetched items were shed by the timeout
+// heuristic.
+func (c *Client) ShedItems() uint64 { return c.shedItems }
+
+// RadioEnergy reports the Joules this client's radio spent transmitting
+// requests and receiving replies — the battery cost §2 of the paper
+// motivates caching with.
+func (c *Client) RadioEnergy() float64 { return c.energyJoules }
+
+// CacheDrops reports how many times the client discarded its whole cache
+// after missing invalidation reports.
+func (c *Client) CacheDrops() uint64 { return c.irDrops }
+
+// ApplyInvalidationReport delivers broadcast report number seq to the
+// client (invalidation-report coherence only). A client that saw the
+// previous report invalidates exactly the items whose base versions
+// changed; a client that missed one or more reports cannot tell which of
+// its items are stale and drops its entire cache — the failure mode that
+// motivates the paper's pull-based leases (§2).
+//
+// The harness must call this only while the client is connected.
+func (c *Client) ApplyInvalidationReport(now float64, seq uint64) {
+	if c.coherenceMode != coherence.InvalidationReportStrategy {
+		panic("client: invalidation report delivered to a lease-coherence client")
+	}
+	contiguous := c.irSynced && seq == c.irLastSeq+1
+	first := !c.irSynced
+	c.irLastSeq = seq
+	c.irSynced = true
+	if first {
+		contiguous = true // an empty cache has nothing to miss
+	}
+	if !contiguous {
+		if c.store != nil {
+			c.store.Clear()
+		}
+		c.membuf.Clear()
+		c.irDrops++
+		return
+	}
+	// Incremental invalidation: drop exactly the changed items.
+	if c.store != nil {
+		var stale []oodb.Item
+		c.store.ForEach(func(it oodb.Item, e *core.Entry) bool {
+			if c.oracle.IsError(it, e.Version) {
+				stale = append(stale, it)
+			}
+			return true
+		})
+		for _, it := range stale {
+			c.store.Remove(it)
+		}
+	}
+	for _, it := range c.membuf.Keys() {
+		if e, ok := c.membuf.Peek(it); ok && c.oracle.IsError(it, e.Version) {
+			c.membuf.Remove(it)
+		}
+	}
+}
+
+// MemBuffer exposes the memory buffer for diagnostics.
+func (c *Client) MemBuffer() *buffer.LRU[oodb.Item, core.Entry] { return c.membuf }
+
+// processQuery runs one query end to end.
+func (c *Client) processQuery(p *sim.Proc, q workload.Query, issuedAt float64) {
+	connected := c.sched.Connected(p.Now())
+	var need []workload.ReadOp
+	existent := 0
+
+	rec := trace.QueryRecord{
+		ClientID:     c.id,
+		Index:        q.Index,
+		IssuedAt:     issuedAt,
+		Reads:        len(q.Reads),
+		Disconnected: !connected,
+	}
+
+	localDelay := 0.0
+	for _, rd := range q.Reads {
+		item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
+		entry, state, delay := c.probeLocal(p.Now(), item)
+		localDelay += delay
+		now := p.Now()
+		switch {
+		case state == core.Hit:
+			// Served by a locally unexpired item: a cache hit. The read
+			// may still be erroneous if a write landed inside the lease.
+			isErr := c.oracle.IsError(item, entry.Version)
+			c.m.RecordAccess(now, true)
+			c.m.RecordError(now, isErr)
+			existent++
+			rec.Hits++
+			if isErr {
+				rec.Errors++
+			}
+		case state == core.Stale && !connected:
+			// Disconnected operation (§5.6): continue on the expired
+			// copy. Not a hit (the item is expired), frequently an error.
+			isErr := c.oracle.IsError(item, entry.Version)
+			c.m.RecordAccess(now, false)
+			c.m.RecordError(now, isErr)
+			rec.Stale++
+			if isErr {
+				rec.Errors++
+			}
+		case !connected:
+			// Disconnected miss: the read is unsatisfiable.
+			c.m.RecordAccess(now, false)
+			c.m.RecordUnavailable(now)
+			rec.Unavailable++
+		default:
+			// Connected miss or expired copy: fetch from the server.
+			need = append(need, rd)
+		}
+	}
+
+	// Local accesses are microseconds each; charge them in one hold so the
+	// kernel dispatches one event per query instead of one per read.
+	if localDelay > 0 {
+		p.Hold(localDelay)
+	}
+
+	// Reads covered by the broadcast program are answered from the air;
+	// only the rest go point-to-point.
+	var fromAir []oodb.Item
+	if c.bcast != nil && connected {
+		pull := need[:0:0]
+		seen := make(map[oodb.Item]bool)
+		for _, rd := range need {
+			item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
+			if c.bcast.Covers(item) {
+				if !seen[item] {
+					seen[item] = true
+					fromAir = append(fromAir, item)
+				}
+				c.bcastReads++
+				c.m.RecordAccess(p.Now(), false)
+				c.m.RecordError(p.Now(), false)
+				continue
+			}
+			pull = append(pull, rd)
+		}
+		need = pull
+	}
+
+	remote := connected && len(need) > 0
+	if remote {
+		rec.RequestBytes, rec.ReplyBytes = c.fetchRemote(p, q, need, existent)
+	}
+	if len(fromAir) > 0 {
+		c.receiveBroadcast(p, fromAir)
+	}
+	rec.Remote = remote || len(fromAir) > 0
+	rec.CompletedAt = p.Now()
+	c.m.RecordQuery(issuedAt, p.Now(), remote, !connected)
+	if c.tracer != nil {
+		c.tracer.Query(rec)
+	}
+}
+
+// receiveBroadcast waits for each item's next slot on the broadcast
+// channel (in delivery order, so the total wait is at most one revolution)
+// and caches the copies. A broadcast copy is valid for one cycle: the next
+// revolution would refresh it.
+func (c *Client) receiveBroadcast(p *sim.Proc, items []oodb.Item) {
+	sort.Slice(items, func(i, j int) bool {
+		return c.bcast.NextDelivery(items[i], p.Now()) < c.bcast.NextDelivery(items[j], p.Now())
+	})
+	for _, item := range items {
+		p.HoldUntil(c.bcast.NextDelivery(item, p.Now()))
+		c.energyJoules += network.RxEnergy(c.bcast.SlotBytes())
+		entry := core.Entry{
+			Version:   c.oracle.CurrentVersion(item),
+			ExpiresAt: p.Now() + c.bcast.Cycle(),
+			FetchedAt: p.Now(),
+		}
+		if c.coherenceMode == coherence.InvalidationReportStrategy {
+			entry.ExpiresAt = coherence.NoExpiry
+		}
+		if c.store != nil {
+			c.store.Insert(item, entry, p.Now())
+		}
+		c.membuf.Put(item, entry)
+	}
+}
+
+// BroadcastReads reports how many reads were answered from the broadcast
+// channel.
+func (c *Client) BroadcastReads() uint64 { return c.bcastReads }
+
+// probeLocal checks the memory buffer and storage cache for item, returning
+// the local access delay to charge and promoting storage hits into the
+// memory buffer.
+func (c *Client) probeLocal(now float64, item oodb.Item) (core.Entry, core.LookupState, float64) {
+	if c.store != nil {
+		if e, st := c.store.Lookup(item, now); st != core.Miss {
+			if _, inMem := c.membuf.Get(item); inMem {
+				return *e, st, c.memSecPerByte * float64(item.Size())
+			}
+			c.membuf.Put(item, *e)
+			return *e, st, c.diskSecPerByte * float64(item.Size())
+		}
+	}
+	// Memory-only copy: NC, or an item evicted from storage whose memory
+	// copy survives.
+	if e, ok := c.membuf.Get(item); ok {
+		st := core.Stale
+		if e.ValidAt(now) {
+			st = core.Hit
+		}
+		return e, st, c.memSecPerByte * float64(item.Size())
+	}
+	return core.Entry{}, core.Miss, 0
+}
+
+// fetchRemote performs the round trip: existent list upstream, server
+// processing, reply downstream, then caches the returned items. It returns
+// the request and reply wire sizes for tracing.
+func (c *Client) fetchRemote(p *sim.Proc, q workload.Query, need []workload.ReadOp, existent int) (reqBytes, replyBytes int) {
+	req := server.Request{
+		ClientID:        c.id,
+		Granularity:     c.granularity,
+		Accesses:        q.Reads,
+		Need:            need,
+		ExistentEntries: existent,
+	}
+	reqBytes = req.WireSize()
+	c.up.Send(p, reqBytes)
+	c.energyJoules += network.TxEnergy(reqBytes)
+	reply := c.srv.Process(p, req)
+
+	// Deliver the reply over the shared downlink. With the timeout
+	// heuristic enabled, a reply that queued beyond the threshold sheds
+	// its prefetched items at delivery time, shortening the transfer the
+	// whole cell is waiting behind.
+	items := reply.Items
+	c.down.SendDeferred(p, func(waited float64) int {
+		if c.shedThreshold > 0 && waited > c.shedThreshold {
+			kept := make([]server.ReplyItem, 0, len(items))
+			for _, it := range items {
+				if !it.Prefetched {
+					kept = append(kept, it)
+				}
+			}
+			c.shedItems += uint64(len(items) - len(kept))
+			items = kept
+		}
+		replyBytes = server.WireSizeItems(items)
+		c.energyJoules += network.RxEnergy(replyBytes)
+		return replyBytes
+	})
+
+	now := p.Now()
+	batch := make([]core.BatchEntry, 0, len(items))
+	for _, item := range items {
+		entry := core.Entry{
+			Version:   item.Version,
+			ExpiresAt: now + item.Refresh,
+			FetchedAt: now,
+		}
+		switch c.coherenceMode {
+		case coherence.InvalidationReportStrategy:
+			// Validity is maintained by broadcast reports, not leases.
+			entry.ExpiresAt = coherence.NoExpiry
+		case coherence.FixedLeaseStrategy:
+			// The original Leases scheme: one duration for every item.
+			entry.ExpiresAt = now + c.fixedLease
+		}
+		batch = append(batch, core.BatchEntry{Item: item.Item, Entry: entry})
+		// Requested items land in the memory buffer (they were just
+		// consumed); prefetched extras only occupy storage so they do not
+		// flush the small buffer.
+		if !item.Prefetched {
+			c.membuf.Put(item.Item, entry)
+		}
+	}
+	if c.store != nil {
+		c.store.InsertBatch(batch, now)
+	}
+
+	// Remote reads are served fresh: accesses that are neither hits nor
+	// errors.
+	for range need {
+		c.m.RecordAccess(now, false)
+		c.m.RecordError(now, false)
+	}
+	return reqBytes, replyBytes
+}

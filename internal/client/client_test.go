@@ -1,0 +1,646 @@
+package client
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// rig bundles a one-client simulation fixture.
+type rig struct {
+	k      *sim.Kernel
+	db     *oodb.Database
+	srv    *server.Server
+	up     *network.Channel
+	down   *network.Channel
+	m      *metrics.Client
+	client *Client
+}
+
+func newRig(t *testing.T, g core.Granularity, updateProb float64) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	db := oodb.New(oodb.Config{NumObjects: 100, RelSeed: 1})
+	srv := server.New(server.Config{Kernel: k, DB: db, UpdateProb: updateProb, Seed: 5})
+	up := network.NewChannel(k, "up", network.WirelessBandwidthBps)
+	down := network.NewChannel(k, "down", network.WirelessBandwidthBps)
+	m := &metrics.Client{}
+	var pol replacement.Policy
+	if g != core.NoCache {
+		pol = replacement.NewLRU()
+	}
+	heat := workload.NewSkewedHeat(100, 1)
+	gen := workload.NewQueryGen(workload.QueryGenConfig{
+		Kind: workload.Associative, Heat: heat, DB: db, Selectivity: 5,
+	})
+	c := New(Config{
+		ID: 0, Kernel: k, Server: srv, Up: up, Down: down,
+		Granularity: g, Policy: pol,
+		Gen: gen, Arrival: workload.NewPoisson(0.01),
+		Metrics: m, Seed: 1, Horizon: 1e6,
+	})
+	return &rig{k: k, db: db, srv: srv, up: up, down: down, m: m, client: c}
+}
+
+// query builds a deterministic query over the given oids reading attr 0.
+func query(idx uint64, oids ...int) workload.Query {
+	q := workload.Query{Index: idx, Kind: workload.Associative}
+	for _, oid := range oids {
+		q.Objects = append(q.Objects, oodb.OID(oid))
+		q.Reads = append(q.Reads, workload.ReadOp{OID: oodb.OID(oid), Attr: 0})
+	}
+	return q
+}
+
+// exec runs fn as a simulation process to completion.
+func (r *rig) exec(fn func(p *sim.Proc)) {
+	r.k.Spawn("test", fn)
+	r.k.RunAll()
+}
+
+func TestMissThenHit(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2, 3), p.Now())
+		r.client.processQuery(p, query(1, 1, 2, 3), p.Now())
+	})
+	if r.m.Accesses() != 6 {
+		t.Fatalf("accesses = %d, want 6", r.m.Accesses())
+	}
+	// First query: 3 misses; second: 3 hits.
+	if hr := r.m.HitRatio(); hr != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", hr)
+	}
+	issued, local, remote, _ := r.m.Queries()
+	if issued != 2 || remote != 1 || local != 1 {
+		t.Fatalf("queries = %d/%d/%d", issued, local, remote)
+	}
+	if r.up.Messages() != 1 || r.down.Messages() != 1 {
+		t.Fatalf("channel messages = %d/%d, want 1/1", r.up.Messages(), r.down.Messages())
+	}
+}
+
+func TestStorePopulatedPerGranularity(t *testing.T) {
+	for _, g := range []core.Granularity{core.AttributeCaching, core.ObjectCaching, core.HybridCaching} {
+		r := newRig(t, g, 0)
+		r.exec(func(p *sim.Proc) {
+			r.client.processQuery(p, query(0, 7), p.Now())
+		})
+		want := core.CoverItem(g, 7, 0)
+		if !r.client.Store().Contains(want) {
+			t.Errorf("%v: store missing %v", g, want)
+		}
+	}
+}
+
+func TestNCHasNoStore(t *testing.T) {
+	r := newRig(t, core.NoCache, 0)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1), p.Now())
+		r.client.processQuery(p, query(1, 1), p.Now())
+	})
+	if r.client.Store() != nil {
+		t.Fatal("NC client has a storage cache")
+	}
+	// Second access is a memory-buffer hit.
+	if hr := r.m.HitRatio(); hr != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", hr)
+	}
+}
+
+func TestNCMemoryBufferEvicts(t *testing.T) {
+	r := newRig(t, core.NoCache, 0)
+	r.exec(func(p *sim.Proc) {
+		// Touch 40 distinct objects: the 30-object buffer must evict.
+		for i := 0; i < 40; i++ {
+			r.client.processQuery(p, query(uint64(i), i+1), p.Now())
+		}
+		// Object 1 was evicted (LRU): this is a miss.
+		r.client.processQuery(p, query(40, 1), p.Now())
+	})
+	if r.m.Errors() != 0 {
+		t.Fatal("errors in read-only run")
+	}
+	if r.client.MemBuffer().Len() > 30 {
+		t.Fatalf("membuf len %d > 30", r.client.MemBuffer().Len())
+	}
+	if hits := r.m.HitRatio(); hits != 0 {
+		t.Fatalf("hit ratio = %v, want 0 (all distinct + evicted)", hits)
+	}
+}
+
+func TestResponseTimeDominatedByWireless(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2, 3), p.Now())
+	})
+	// 3 attr entries + headers at 19.2kbps is ~0.1s; local would be µs.
+	if rt := r.m.MeanResponse(); rt < 0.05 {
+		t.Fatalf("remote response %v suspiciously fast", rt)
+	}
+	r2 := newRig(t, core.AttributeCaching, 0)
+	r2.exec(func(p *sim.Proc) {
+		r2.client.processQuery(p, query(0, 1), p.Now())
+		r2.client.processQuery(p, query(1, 1), p.Now())
+	})
+	sum := r2.m.ResponseSummary()
+	if sum.Max() == sum.Min() {
+		t.Fatal("local hit should be much faster than remote miss")
+	}
+}
+
+func TestOCResponseSlowerThanAC(t *testing.T) {
+	times := map[core.Granularity]float64{}
+	for _, g := range []core.Granularity{core.AttributeCaching, core.ObjectCaching} {
+		r := newRig(t, g, 0)
+		r.exec(func(p *sim.Proc) {
+			r.client.processQuery(p, query(0, 1, 2, 3, 4, 5), p.Now())
+		})
+		times[g] = r.m.MeanResponse()
+	}
+	if times[core.ObjectCaching] <= times[core.AttributeCaching] {
+		t.Fatalf("OC %v should be slower than AC %v on a cold fetch",
+			times[core.ObjectCaching], times[core.AttributeCaching])
+	}
+}
+
+func TestOCHitsAcrossAttributes(t *testing.T) {
+	// OC caches the whole object: a later read of a *different* attribute
+	// of the same object hits. Under AC it misses.
+	probe := func(g core.Granularity) float64 {
+		r := newRig(t, g, 0)
+		r.exec(func(p *sim.Proc) {
+			r.client.processQuery(p, query(0, 1), p.Now()) // reads attr 0
+			q2 := workload.Query{
+				Index:   1,
+				Objects: []oodb.OID{1},
+				Reads:   []workload.ReadOp{{OID: 1, Attr: 5}},
+			}
+			r.client.processQuery(p, q2, p.Now())
+		})
+		return r.m.HitRatio()
+	}
+	if hrOC := probe(core.ObjectCaching); hrOC != 0.5 {
+		t.Fatalf("OC cross-attribute hit ratio = %v, want 0.5", hrOC)
+	}
+	if hrAC := probe(core.AttributeCaching); hrAC != 0 {
+		t.Fatalf("AC cross-attribute hit ratio = %v, want 0", hrAC)
+	}
+}
+
+func TestDisconnectedMissUnavailable(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	sched := &network.Schedule{}
+	sched.AddOutage(network.Outage{Start: 0, End: 1000})
+	r.client.sched = sched
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2), p.Now())
+	})
+	if r.m.Unavailable() != 2 {
+		t.Fatalf("unavailable = %d, want 2", r.m.Unavailable())
+	}
+	_, _, remote, disc := r.m.Queries()
+	if remote != 0 || disc != 1 {
+		t.Fatalf("remote=%d disc=%d", remote, disc)
+	}
+	if r.up.Messages() != 0 {
+		t.Fatal("disconnected client sent a message")
+	}
+}
+
+func TestDisconnectedServesStale(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 1 /* every access updates */)
+	r.exec(func(p *sim.Proc) {
+		// Build a write history so leases become finite, and cache attr 0
+		// of object 1.
+		for i := 0; i < 6; i++ {
+			r.client.processQuery(p, query(uint64(i), 1), p.Now())
+			p.Hold(50)
+		}
+	})
+	// Now disconnect far in the future so the lease has expired, and read.
+	sched := &network.Schedule{}
+	sched.AddOutage(network.Outage{Start: r.k.Now(), End: r.k.Now() + 1e6})
+	r.client.sched = sched
+	// A foreign write makes the stale copy erroneous.
+	r.db.Write(1, 0)
+	errsBefore := r.m.Errors()
+	r.exec(func(p *sim.Proc) {
+		p.Hold(1e5) // let the lease lapse
+		r.client.processQuery(p, query(99, 1), p.Now())
+	})
+	if r.m.Unavailable() != 0 {
+		t.Fatalf("cached stale read counted unavailable")
+	}
+	if r.m.Errors() != errsBefore+1 {
+		t.Fatalf("stale disconnected read not flagged as error (errors=%d)", r.m.Errors())
+	}
+}
+
+func TestErrorsRequireForeignWrite(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1), p.Now())
+		r.client.processQuery(p, query(1, 1), p.Now())
+	})
+	if r.m.Errors() != 0 {
+		t.Fatalf("read-only run produced %d errors", r.m.Errors())
+	}
+	// Foreign write; lease is infinite (no write history at fetch time) so
+	// the next read is a hit AND an error.
+	r.db.Write(1, 0)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(2, 1), p.Now())
+	})
+	if r.m.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1", r.m.Errors())
+	}
+}
+
+func TestExistentListSizesRequest(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	var sizes []uint64
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2), p.Now())
+		sizes = append(sizes, r.up.BytesSent())
+		// Second query: 2 hits + 1 new miss -> existent list of 2 entries.
+		r.client.processQuery(p, query(1, 1, 2, 3), p.Now())
+		sizes = append(sizes, r.up.BytesSent())
+	})
+	first := sizes[0]
+	second := sizes[1] - sizes[0]
+	if second != first+2*(network.OIDSize+network.AttrRefSize) {
+		t.Fatalf("request sizes %d then %d: existent list not carried", first, second)
+	}
+}
+
+func TestLeaseExpiryForcesRefresh(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 1)
+	var hitsAfterExpiry bool
+	r.exec(func(p *sim.Proc) {
+		// Build write history: every query updates, inter-write ~100s.
+		for i := 0; i < 8; i++ {
+			r.client.processQuery(p, query(uint64(i), 1), p.Now())
+			p.Hold(100)
+		}
+		// Far beyond the ~100s lease: the cached copy must be stale, so
+		// the read goes remote (not a hit).
+		p.Hold(10000)
+		accBefore := r.m.Accesses()
+		hitsB := uint64(float64(accBefore)*r.m.HitRatio() + 0.5)
+		r.client.processQuery(p, query(99, 1), p.Now())
+		hitsA := uint64(float64(r.m.Accesses())*r.m.HitRatio() + 0.5)
+		hitsAfterExpiry = hitsA > hitsB
+	})
+	if hitsAfterExpiry {
+		t.Fatal("expired item served as a hit instead of refreshing")
+	}
+}
+
+func TestRunLoopIssuesQueries(t *testing.T) {
+	r := newRig(t, core.HybridCaching, 0.1)
+	r.client.horizon = 20000
+	r.client.Start()
+	r.k.RunAll()
+	issued, _, _, _ := r.m.Queries()
+	if issued == 0 {
+		t.Fatal("no queries issued by run loop")
+	}
+	if r.m.Accesses() == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	if r.k.LiveProcs() != 0 {
+		t.Fatalf("client proc still live: %d", r.k.LiveProcs())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	gen := r.client.gen
+	base := Config{
+		Kernel: r.k, Server: r.srv, Up: r.up, Down: r.down,
+		Granularity: core.AttributeCaching, Policy: replacement.NewLRU(),
+		Gen: gen, Arrival: workload.NewPoisson(1),
+		Metrics: &metrics.Client{}, Horizon: 10,
+	}
+	mutations := []func(c *Config){
+		func(c *Config) { c.Kernel = nil },
+		func(c *Config) { c.Server = nil },
+		func(c *Config) { c.Up = nil },
+		func(c *Config) { c.Gen = nil },
+		func(c *Config) { c.Arrival = nil },
+		func(c *Config) { c.Metrics = nil },
+		func(c *Config) { c.Granularity = core.Granularity(9) },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Policy = nil },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("mutation %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestMemBufferSizedByGranularity(t *testing.T) {
+	rAC := newRig(t, core.AttributeCaching, 0)
+	rOC := newRig(t, core.ObjectCaching, 0)
+	if rAC.client.membuf.Capacity() <= rOC.client.membuf.Capacity() {
+		t.Fatalf("AC membuf %d entries should exceed OC's %d",
+			rAC.client.membuf.Capacity(), rOC.client.membuf.Capacity())
+	}
+	if rOC.client.membuf.Capacity() != DefaultMemBufferObjects {
+		t.Fatalf("OC membuf capacity = %d", rOC.client.membuf.Capacity())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() (float64, float64, uint64) {
+		r := newRig(t, core.HybridCaching, 0.1)
+		r.client.horizon = 50000
+		r.client.Start()
+		r.k.RunAll()
+		return r.m.HitRatio(), r.m.MeanResponse(), r.m.Accesses()
+	}
+	h1, rt1, a1 := runOnce()
+	h2, rt2, a2 := runOnce()
+	if h1 != h2 || rt1 != rt2 || a1 != a2 {
+		t.Fatalf("replay diverged: (%v,%v,%d) vs (%v,%v,%d)", h1, rt1, a1, h2, rt2, a2)
+	}
+	if math.IsNaN(h1) {
+		t.Fatal("NaN hit ratio")
+	}
+}
+
+// --- invalidation-report coherence -----------------------------------
+
+func newIRRig(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, core.AttributeCaching, 0)
+	// Rebuild the client in invalidation-report mode.
+	r.client = New(Config{
+		ID: 0, Kernel: r.k, Server: r.srv, Up: r.up, Down: r.down,
+		Granularity: core.AttributeCaching, Policy: replacement.NewLRU(),
+		Gen: r.client.gen, Arrival: workload.NewPoisson(0.01),
+		Metrics: r.m, Seed: 1, Horizon: 1e6,
+		Coherence: coherence.InvalidationReportStrategy,
+	})
+	return r
+}
+
+func TestIREntriesNeverExpire(t *testing.T) {
+	r := newIRRig(t)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1), p.Now())
+	})
+	e, ok := r.client.Store().Peek(oodb.AttrItem(1, 0))
+	if !ok {
+		t.Fatal("item not cached")
+	}
+	if !e.ValidAt(1e12) {
+		t.Fatalf("IR entry expires at %v; should never expire", e.ExpiresAt)
+	}
+}
+
+func TestIRIncrementalInvalidation(t *testing.T) {
+	r := newIRRig(t)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2), p.Now())
+	})
+	// A foreign write lands on (1, 0); report 1 then report 2 arrive.
+	r.db.Write(1, 0)
+	r.client.ApplyInvalidationReport(100, 1)
+	if r.client.Store().Contains(oodb.AttrItem(1, 0)) {
+		t.Fatal("stale item survived the invalidation report")
+	}
+	if !r.client.Store().Contains(oodb.AttrItem(2, 0)) {
+		t.Fatal("clean item was invalidated")
+	}
+	r.client.ApplyInvalidationReport(160, 2)
+	if !r.client.Store().Contains(oodb.AttrItem(2, 0)) {
+		t.Fatal("contiguous report dropped the cache")
+	}
+	if r.client.CacheDrops() != 0 {
+		t.Fatalf("CacheDrops = %d", r.client.CacheDrops())
+	}
+}
+
+func TestIRMissedReportDropsCache(t *testing.T) {
+	r := newIRRig(t)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2, 3), p.Now())
+	})
+	r.client.ApplyInvalidationReport(60, 1)
+	if r.client.Store().Len() == 0 {
+		t.Fatal("first report should not drop anything")
+	}
+	// Report 2 missed (disconnected); report 3 arrives.
+	r.client.ApplyInvalidationReport(180, 3)
+	if r.client.Store().Len() != 0 {
+		t.Fatalf("cache not dropped after missed report: %d items", r.client.Store().Len())
+	}
+	if r.client.MemBuffer().Len() != 0 {
+		t.Fatal("memory buffer not dropped after missed report")
+	}
+	if r.client.CacheDrops() != 1 {
+		t.Fatalf("CacheDrops = %d, want 1", r.client.CacheDrops())
+	}
+}
+
+func TestIRReportToLeaseClientPanics(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("report to lease client did not panic")
+		}
+	}()
+	r.client.ApplyInvalidationReport(10, 1)
+}
+
+func TestShedThresholdDisabledByDefault(t *testing.T) {
+	r := newRig(t, core.HybridCaching, 0)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2, 3), p.Now())
+	})
+	if r.client.ShedItems() != 0 {
+		t.Fatalf("ShedItems = %d with heuristic disabled", r.client.ShedItems())
+	}
+}
+
+func TestFixedLeaseStrategy(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	r.client = New(Config{
+		ID: 0, Kernel: r.k, Server: r.srv, Up: r.up, Down: r.down,
+		Granularity: core.AttributeCaching, Policy: replacement.NewLRU(),
+		Gen: r.client.gen, Arrival: workload.NewPoisson(0.01),
+		Metrics: r.m, Seed: 1, Horizon: 1e6,
+		Coherence: coherence.FixedLeaseStrategy, FixedLease: 50,
+	})
+	var fetchedAt float64
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1), p.Now())
+		fetchedAt = p.Now()
+	})
+	e, ok := r.client.Store().Peek(oodb.AttrItem(1, 0))
+	if !ok {
+		t.Fatal("item not cached")
+	}
+	if math.Abs(e.ExpiresAt-(fetchedAt+50)) > 1e-9 {
+		t.Fatalf("ExpiresAt = %v, want fetch+50 = %v", e.ExpiresAt, fetchedAt+50)
+	}
+}
+
+func TestFixedLeaseValidation(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative FixedLease did not panic")
+		}
+	}()
+	New(Config{
+		ID: 0, Kernel: r.k, Server: r.srv, Up: r.up, Down: r.down,
+		Granularity: core.AttributeCaching, Policy: replacement.NewLRU(),
+		Gen: r.client.gen, Arrival: workload.NewPoisson(0.01),
+		Metrics: &metrics.Client{}, Seed: 1, Horizon: 1e6,
+		Coherence: coherence.FixedLeaseStrategy, FixedLease: -5,
+	})
+}
+
+func TestTracerReceivesConsistentRecords(t *testing.T) {
+	r := newRig(t, core.AttributeCaching, 0)
+	collector := &trace.Collector{}
+	r.client.tracer = collector
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2, 3), p.Now())
+		r.client.processQuery(p, query(1, 1, 2, 3), p.Now())
+	})
+	if collector.Len() != 2 {
+		t.Fatalf("records = %d, want 2", collector.Len())
+	}
+	first, second := collector.Records[0], collector.Records[1]
+	if first.Reads != 3 || first.Hits != 0 || !first.Remote {
+		t.Fatalf("first record: %+v", first)
+	}
+	if second.Reads != 3 || second.Hits != 3 || second.Remote {
+		t.Fatalf("second record: %+v", second)
+	}
+	if first.RequestBytes == 0 || first.ReplyBytes == 0 {
+		t.Fatal("remote record missing wire sizes")
+	}
+	if second.RequestBytes != 0 || second.ReplyBytes != 0 {
+		t.Fatal("local record has wire sizes")
+	}
+	if first.ResponseTime() <= second.ResponseTime() {
+		t.Fatal("remote query not slower than local")
+	}
+	// The trace must reconcile with the aggregate metrics.
+	totalHits := first.Hits + second.Hits
+	if float64(totalHits)/6 != r.m.HitRatio() {
+		t.Fatalf("trace hits %d inconsistent with hit ratio %v", totalHits, r.m.HitRatio())
+	}
+}
+
+// --- broadcast dissemination -------------------------------------------
+
+func newBroadcastRig(t *testing.T) (*rig, *broadcast.Program) {
+	t.Helper()
+	r := newRig(t, core.AttributeCaching, 0)
+	// Broadcast attribute 0 of objects 1..5.
+	prog := broadcast.New(broadcast.HotAttrItems([]oodb.OID{1, 2, 3, 4, 5}, 1),
+		network.WirelessBandwidthBps, 0)
+	r.client = New(Config{
+		ID: 0, Kernel: r.k, Server: r.srv, Up: r.up, Down: r.down,
+		Granularity: core.AttributeCaching, Policy: replacement.NewLRU(),
+		Gen: r.client.gen, Arrival: workload.NewPoisson(0.01),
+		Metrics: r.m, Seed: 1, Horizon: 1e6,
+		Broadcast: prog,
+	})
+	return r, prog
+}
+
+func TestBroadcastServesCoveredReads(t *testing.T) {
+	r, prog := newBroadcastRig(t)
+	r.exec(func(p *sim.Proc) {
+		// Object 1 attr 0 is on the air; object 50 is not.
+		r.client.processQuery(p, query(0, 1, 50), p.Now())
+	})
+	if r.client.BroadcastReads() != 1 {
+		t.Fatalf("BroadcastReads = %d, want 1", r.client.BroadcastReads())
+	}
+	if !r.client.Store().Contains(oodb.AttrItem(1, 0)) {
+		t.Fatal("broadcast item not cached")
+	}
+	e, _ := r.client.Store().Peek(oodb.AttrItem(1, 0))
+	if e.ExpiresAt > prog.Cycle()*2+1 {
+		t.Fatalf("broadcast lease %v exceeds ~one cycle", e.ExpiresAt)
+	}
+	// The point-to-point reply carried only the uncovered item.
+	if r.up.Messages() != 1 {
+		t.Fatalf("uplink messages = %d", r.up.Messages())
+	}
+}
+
+func TestBroadcastOnlyQuerySendsNothing(t *testing.T) {
+	r, _ := newBroadcastRig(t)
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1, 2, 3), p.Now())
+	})
+	if r.up.Messages() != 0 || r.down.Messages() != 0 {
+		t.Fatalf("broadcast-covered query used point-to-point channels (%d/%d)",
+			r.up.Messages(), r.down.Messages())
+	}
+	if r.client.BroadcastReads() != 3 {
+		t.Fatalf("BroadcastReads = %d", r.client.BroadcastReads())
+	}
+	// Subsequent identical reads hit the cache within the lease.
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(1, 1, 2, 3), p.Now())
+	})
+	if r.client.BroadcastReads() != 3 {
+		t.Fatal("cached broadcast items re-fetched from the air")
+	}
+}
+
+func TestBroadcastWaitBoundedByCycle(t *testing.T) {
+	r, prog := newBroadcastRig(t)
+	r.exec(func(p *sim.Proc) {
+		start := p.Now()
+		r.client.processQuery(p, query(0, 1, 2, 3, 4, 5), p.Now())
+		if wait := p.Now() - start; wait > prog.Cycle()+5*prog.MeanWait() {
+			t.Errorf("broadcast wait %v too long for cycle %v", wait, prog.Cycle())
+		}
+	})
+}
+
+func TestBroadcastIgnoredWhileDisconnected(t *testing.T) {
+	r, _ := newBroadcastRig(t)
+	sched := &network.Schedule{}
+	sched.AddOutage(network.Outage{Start: 0, End: 1e6})
+	r.client.sched = sched
+	r.exec(func(p *sim.Proc) {
+		r.client.processQuery(p, query(0, 1), p.Now())
+	})
+	if r.client.BroadcastReads() != 0 {
+		t.Fatal("disconnected client read from the air")
+	}
+	if r.m.Unavailable() != 1 {
+		t.Fatalf("unavailable = %d", r.m.Unavailable())
+	}
+}

@@ -1,0 +1,196 @@
+// Package coherence implements the paper's lazy pull-based cache coherence
+// strategy (§3.2) and the perfect-knowledge error accounting used by its
+// evaluation (§3.2, §5).
+//
+// The scheme derives from the Leases file-caching mechanism: every item
+// shipped from the server carries a refresh time
+//
+//	RT = d̄ + β·s
+//
+// where d̄ and s are the mean and standard deviation of the inter-arrival
+// durations of write operations on the item, and β expresses how much
+// staleness the client tolerates (larger β → longer leases → higher hit
+// ratio, more errors). The client treats a cached copy as valid until
+// fetchTime + RT; expired copies are refreshed on demand at the next access
+// — no server callbacks, no invalidation broadcasts, so the scheme works
+// across disconnections.
+//
+// An access to a cached copy counts as an *error* when the server has
+// applied a write to the base item after the copy was fetched — evaluated
+// with perfect knowledge via the version counters in internal/oodb.
+package coherence
+
+import (
+	"math"
+
+	"repro/internal/oodb"
+	"repro/internal/stats"
+)
+
+// NoExpiry is a sentinel "never expires" timestamp used by tests and
+// read-only workloads.
+const NoExpiry = math.MaxFloat64
+
+// Strategy selects the coherence scheme a client runs.
+type Strategy int
+
+const (
+	// LeaseStrategy is the paper's lazy pull-based scheme: items carry
+	// adaptive refresh times and are re-validated on demand.
+	LeaseStrategy Strategy = iota
+	// InvalidationReportStrategy is the broadcast baseline of [2]
+	// (Barbará & Imieliński) the paper argues against: the server
+	// periodically broadcasts which items changed; connected clients
+	// invalidate, and a client that misses a report can no longer trust
+	// any cached item and must drop its cache. Implemented as a
+	// comparison point for the disconnection experiments.
+	InvalidationReportStrategy
+	// FixedLeaseStrategy is the original Leases scheme [7] with a single
+	// pre-specified refresh duration for every item — the baseline whose
+	// weakness ("it is difficult to determine an appropriate refresh
+	// duration", §2) motivates the paper's adaptive per-item estimate.
+	FixedLeaseStrategy
+)
+
+// String renders the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case LeaseStrategy:
+		return "lease"
+	case InvalidationReportStrategy:
+		return "invalidation-report"
+	case FixedLeaseStrategy:
+		return "fixed-lease"
+	default:
+		return "strategy(?)"
+	}
+}
+
+// DefaultReportInterval is the invalidation-report broadcast period in
+// simulated seconds.
+const DefaultReportInterval = 60.0
+
+// DefaultFixedLease is the refresh duration used by FixedLeaseStrategy
+// when none is configured.
+const DefaultFixedLease = 600.0
+
+// RefreshEstimator tracks the write streams of database items at the
+// server and estimates per-item refresh times. One estimator instance
+// lives at the server; the granularity of its keys matches the caching
+// granularity (whole objects under OC, attributes under AC/HC).
+type RefreshEstimator struct {
+	beta    float64
+	streams map[oodb.Item]*stats.InterArrival
+}
+
+// NewRefreshEstimator returns an estimator with the given β.
+func NewRefreshEstimator(beta float64) *RefreshEstimator {
+	return &RefreshEstimator{
+		beta:    beta,
+		streams: make(map[oodb.Item]*stats.InterArrival),
+	}
+}
+
+// Beta returns the staleness-tolerance parameter.
+func (e *RefreshEstimator) Beta() float64 { return e.beta }
+
+// ObserveWrite records a write on item at virtual time now.
+func (e *RefreshEstimator) ObserveWrite(it oodb.Item, now float64) {
+	s, ok := e.streams[it]
+	if !ok {
+		s = &stats.InterArrival{}
+		e.streams[it] = s
+	}
+	s.Observe(now)
+}
+
+// RefreshTime returns the lease duration for item at time now.
+//
+// With at least two observed writes this is the paper's formula
+// RT = d̄ + β·s over the write inter-arrival durations, clamped at zero
+// (a strongly negative β makes copies immediately stale).
+//
+// Thin histories need a provisional estimate — an infinite lease here
+// would freeze an early-fetched copy forever and silently accrue errors
+// once writes begin (the paper's on-demand refresh can only re-learn a
+// lease when a lease actually expires). We use the maximum-likelihood
+// style fallbacks: an item never written in `now` seconds is leased for
+// another `now` seconds; an item written exactly once is leased for the
+// time elapsed since that write. Both converge to the formula as history
+// accumulates.
+func (e *RefreshEstimator) RefreshTime(it oodb.Item, now float64) float64 {
+	s, ok := e.streams[it]
+	if !ok {
+		return now
+	}
+	if s.Count() == 0 {
+		last, _ := s.Last()
+		if rt := now - last; rt > 0 {
+			return rt
+		}
+		return 0
+	}
+	rt := s.Mean() + e.beta*s.Std()
+	if rt < 0 {
+		return 0
+	}
+	return rt
+}
+
+// ExpiresAt returns the absolute expiry timestamp for an item fetched at
+// time now: now + RefreshTime.
+func (e *RefreshEstimator) ExpiresAt(it oodb.Item, now float64) float64 {
+	return now + e.RefreshTime(it, now)
+}
+
+// WriteCount returns the number of writes observed on item.
+func (e *RefreshEstimator) WriteCount(it oodb.Item) uint64 {
+	s, ok := e.streams[it]
+	if !ok {
+		return 0
+	}
+	c := s.Count()
+	return c + 1 // durations = events − 1; first event was also a write
+}
+
+// TrackedItems returns the number of items with observed writes.
+func (e *RefreshEstimator) TrackedItems() int { return len(e.streams) }
+
+// Oracle evaluates read errors with perfect knowledge of server state. It
+// compares the version a client fetched against the server's current
+// version at read time: any interleaved write makes the read an error
+// (§3.2's definition: a write precedes the read within the two refreshes).
+type Oracle struct {
+	db *oodb.Database
+}
+
+// NewOracle returns an oracle over the server database.
+func NewOracle(db *oodb.Database) *Oracle {
+	if db == nil {
+		panic("coherence: NewOracle requires a database")
+	}
+	return &Oracle{db: db}
+}
+
+// CurrentVersion returns the server-side version of the item: the object
+// version for whole-object items, the attribute version otherwise. Clients
+// stamp cache entries with this value at fetch time.
+func (o *Oracle) CurrentVersion(it oodb.Item) uint64 {
+	if it.IsObject() {
+		return o.db.ObjectVersion(it.OID)
+	}
+	return o.db.AttrVersion(it.OID, it.Attr)
+}
+
+// IsError reports whether reading a copy of item fetched at version
+// cachedVersion is an error now, i.e. whether the base item has been
+// written since the fetch.
+//
+// The granularity of `it` is load-bearing and reproduces the paper's
+// Experiment #5 observation: under OC the cached unit is the whole object,
+// so a write to *any* attribute invalidates reads of *every* attribute
+// (higher error rates), while under AC/HC only writes to the same
+// attribute count.
+func (o *Oracle) IsError(it oodb.Item, cachedVersion uint64) bool {
+	return o.CurrentVersion(it) > cachedVersion
+}

@@ -1,0 +1,42 @@
+package coherence_test
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/oodb"
+)
+
+// The adaptive refresh-time estimate: frequent writes shorten the lease,
+// and β trades staleness tolerance against refresh traffic.
+func Example() {
+	it := oodb.AttrItem(42, 0)
+	// Writes observed at the server every ~100s, with some jitter.
+	for _, beta := range []float64{-1, 0, 1} {
+		e := coherence.NewRefreshEstimator(beta)
+		for _, t := range []float64{0, 90, 200, 290, 400} {
+			e.ObserveWrite(it, t)
+		}
+		fmt.Printf("beta=%+g: RT = %.0fs\n", beta, e.RefreshTime(it, 500))
+	}
+	// Output:
+	// beta=-1: RT = 90s
+	// beta=+0: RT = 100s
+	// beta=+1: RT = 110s
+}
+
+// The perfect-knowledge oracle: a read is an error once any write lands on
+// the base item after the copy was fetched.
+func ExampleOracle() {
+	db := oodb.New(oodb.Config{NumObjects: 10})
+	oracle := coherence.NewOracle(db)
+
+	it := oodb.AttrItem(3, 1)
+	fetched := oracle.CurrentVersion(it) // client caches the copy here
+	fmt.Println("error before write:", oracle.IsError(it, fetched))
+	db.Write(3, 1)
+	fmt.Println("error after write:", oracle.IsError(it, fetched))
+	// Output:
+	// error before write: false
+	// error after write: true
+}

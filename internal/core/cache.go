@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+)
+
+// EntryOverhead is the per-item bookkeeping cost in the storage cache, in
+// bytes: the paper's cache table keeps a local surrogate (R.oid, R.host),
+// the cached value slot, the lease expiry, and the version stamp for every
+// cached item. Fine-grained (attribute) caching pays this once per
+// attribute, whole-object caching once per object — the classic metadata
+// tax on fine granularity that §2 of the paper alludes to.
+const EntryOverhead = 48
+
+// ItemCost returns the storage budget consumed by caching an item: its
+// payload plus the per-entry bookkeeping overhead.
+func ItemCost(it oodb.Item) int { return it.Size() + EntryOverhead }
+
+// Entry is the metadata a client keeps per cached item: the server-side
+// version captured at fetch time (consumed by the error oracle) and the
+// absolute lease expiry derived from the server's refresh-time estimate.
+type Entry struct {
+	Version   uint64
+	ExpiresAt float64
+	FetchedAt float64
+}
+
+// ValidAt reports whether the lease is still running at time t.
+func (e Entry) ValidAt(t float64) bool { return t < e.ExpiresAt }
+
+// LookupState classifies the outcome of a cache probe.
+type LookupState int
+
+const (
+	// Miss: the item is not resident.
+	Miss LookupState = iota
+	// Stale: the item is resident but its lease has expired; a connected
+	// client must refresh it, a disconnected one may still read it
+	// (§3.2, §5.6).
+	Stale
+	// Hit: the item is resident with a running lease.
+	Hit
+)
+
+// String renders the state for logs and tests.
+func (s LookupState) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Stale:
+		return "stale"
+	case Hit:
+		return "hit"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Cache is the client's storage cache: a byte-budgeted table of database
+// items ranked by a replacement policy. The paper sizes it at 20% of the
+// database (400 objects × 1024 B); attribute items consume AttrSize bytes
+// so AC/HC fit many more entries than OC.
+type Cache struct {
+	capacityBytes int
+	usedBytes     int
+	entries       map[oodb.Item]*Entry
+	policy        replacement.Policy
+
+	insertions uint64
+	evictions  uint64
+	rejected   uint64
+}
+
+// NewCache builds a storage cache with the given byte capacity and policy.
+func NewCache(capacityBytes int, policy replacement.Policy) *Cache {
+	if capacityBytes <= 0 {
+		panic("core: cache capacity must be positive")
+	}
+	if policy == nil {
+		panic("core: cache requires a replacement policy")
+	}
+	return &Cache{
+		capacityBytes: capacityBytes,
+		entries:       make(map[oodb.Item]*Entry),
+		policy:        policy,
+	}
+}
+
+// Lookup probes the cache for item at time now. Resident items — valid or
+// stale — are recorded as accesses with the replacement policy, since the
+// access probability the policy estimates does not depend on lease state.
+// The returned entry is live cache state; callers must not retain it across
+// mutations.
+func (c *Cache) Lookup(it oodb.Item, now float64) (*Entry, LookupState) {
+	e, ok := c.entries[it]
+	if !ok {
+		return nil, Miss
+	}
+	c.policy.OnAccess(it, now)
+	if !e.ValidAt(now) {
+		return e, Stale
+	}
+	return e, Hit
+}
+
+// Peek returns the entry without touching replacement state.
+func (c *Cache) Peek(it oodb.Item) (*Entry, bool) {
+	e, ok := c.entries[it]
+	return e, ok
+}
+
+// Contains reports residency without touching replacement state.
+func (c *Cache) Contains(it oodb.Item) bool {
+	_, ok := c.entries[it]
+	return ok
+}
+
+// Insert caches (or refreshes) item with the given metadata, evicting
+// victims as needed to respect the byte budget. It returns the evicted
+// items. Items larger than the whole cache are rejected (never cached).
+//
+// A refresh of a resident item only updates its metadata: the access was
+// already recorded by the Lookup that discovered the miss/staleness, and a
+// server-initiated prefetch of an already-resident item is not a client
+// access at all.
+func (c *Cache) Insert(it oodb.Item, e Entry, now float64) []oodb.Item {
+	if old, ok := c.entries[it]; ok {
+		*old = e
+		return nil
+	}
+	size := ItemCost(it)
+	if size > c.capacityBytes {
+		c.rejected++
+		return nil
+	}
+	var evicted []oodb.Item
+	for c.usedBytes+size > c.capacityBytes {
+		victim, ok := c.policy.Victim(now)
+		if !ok {
+			panic("core: cache over budget with no victim available")
+		}
+		c.removeResident(victim)
+		c.evictions++
+		evicted = append(evicted, victim)
+	}
+	stored := e
+	c.entries[it] = &stored
+	c.usedBytes += size
+	c.policy.OnInsert(it, now)
+	c.insertions++
+	return evicted
+}
+
+// BatchEntry pairs an item with its metadata for InsertBatch.
+type BatchEntry struct {
+	Item  oodb.Item
+	Entry Entry
+}
+
+// InsertBatch caches a whole reply's items at once. It frees room for the
+// batch with bulk victim selection (one policy scan yields many victims)
+// before inserting, which is what keeps large replies (OC objects, HC
+// prefetch sets) affordable; the set of evicted items matches what repeated
+// single Inserts would have chosen at the same instant. Returns all evicted
+// items.
+func (c *Cache) InsertBatch(batch []BatchEntry, now float64) []oodb.Item {
+	// Bytes the batch will add: new, cacheable, de-duplicated items only.
+	incoming := 0
+	seen := make(map[oodb.Item]bool, len(batch))
+	for _, b := range batch {
+		if seen[b.Item] || c.Contains(b.Item) || ItemCost(b.Item) > c.capacityBytes {
+			continue
+		}
+		seen[b.Item] = true
+		incoming += ItemCost(b.Item)
+	}
+	var evicted []oodb.Item
+	for c.usedBytes+incoming > c.capacityBytes {
+		over := c.usedBytes + incoming - c.capacityBytes
+		want := over/oodb.AttrSize + 1
+		if want > 1024 {
+			want = 1024
+		}
+		victims := c.policy.Victims(now, want)
+		if len(victims) == 0 {
+			// The batch alone exceeds the whole cache: nothing left to
+			// bulk-evict. The per-item phase below will evict earlier
+			// batch items as later ones insert.
+			break
+		}
+		progress := false
+		for _, v := range victims {
+			if c.usedBytes+incoming <= c.capacityBytes {
+				break
+			}
+			c.removeResident(v)
+			c.evictions++
+			evicted = append(evicted, v)
+			progress = true
+		}
+		if !progress {
+			panic("core: bulk eviction made no progress")
+		}
+	}
+	// Insert; Insert itself copes with any residual corner cases (e.g. a
+	// batch item that was just selected as a victim).
+	for _, b := range batch {
+		evicted = append(evicted, c.Insert(b.Item, b.Entry, now)...)
+	}
+	return evicted
+}
+
+// Remove drops item from the cache (explicit invalidation), reporting
+// whether it was resident.
+func (c *Cache) Remove(it oodb.Item) bool {
+	if _, ok := c.entries[it]; !ok {
+		return false
+	}
+	c.removeResident(it)
+	return true
+}
+
+func (c *Cache) removeResident(it oodb.Item) {
+	if _, ok := c.entries[it]; !ok {
+		panic(fmt.Sprintf("core: removing non-resident item %v", it))
+	}
+	delete(c.entries, it)
+	c.usedBytes -= ItemCost(it)
+	c.policy.Remove(it)
+}
+
+// ForEach visits every resident item in unspecified order; fn returning
+// false stops the iteration. fn must not mutate the cache; collect items
+// first and mutate afterwards.
+func (c *Cache) ForEach(fn func(it oodb.Item, e *Entry) bool) {
+	for it, e := range c.entries {
+		if !fn(it, e) {
+			return
+		}
+	}
+}
+
+// Clear drops every resident item (e.g. a client discarding a cache it can
+// no longer trust after missing invalidation reports). Eviction counters
+// are not advanced; replacement state is fully reset.
+func (c *Cache) Clear() {
+	for it := range c.entries {
+		c.policy.Remove(it)
+		delete(c.entries, it)
+	}
+	c.usedBytes = 0
+}
+
+// Len returns the number of resident items.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// UsedBytes returns the occupied byte budget.
+func (c *Cache) UsedBytes() int { return c.usedBytes }
+
+// CapacityBytes returns the byte budget.
+func (c *Cache) CapacityBytes() int { return c.capacityBytes }
+
+// Insertions returns the number of distinct item insertions.
+func (c *Cache) Insertions() uint64 { return c.insertions }
+
+// Evictions returns the number of evictions performed.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// PolicyName returns the replacement policy's name.
+func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+// ValidFraction returns the fraction of resident items whose lease is still
+// running at time now (diagnostic for coherence experiments).
+func (c *Cache) ValidFraction(now float64) float64 {
+	if len(c.entries) == 0 {
+		return 0
+	}
+	valid := 0
+	for _, e := range c.entries {
+		if e.ValidAt(now) {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(c.entries))
+}
+
+// CoverItem maps a single attribute read to the cache item that would
+// satisfy it under granularity g: the whole object under OC (and NC's
+// memory buffer), the attribute itself under AC/HC.
+func CoverItem(g Granularity, oid oodb.OID, attr oodb.AttrID) oodb.Item {
+	if g.UsesAttributeItems() {
+		return oodb.AttrItem(oid, attr)
+	}
+	return oodb.ObjectItem(oid)
+}
+
+// NoExpiryEntry builds an Entry that never expires, for tests and for
+// read-only workloads where the server reports no write history.
+func NoExpiryEntry(version uint64, now float64) Entry {
+	return Entry{Version: version, ExpiresAt: math.MaxFloat64, FetchedAt: now}
+}

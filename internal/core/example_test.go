@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+)
+
+// A client storage cache: insert an attribute item with a lease, hit it
+// while valid, observe it go stale after the lease expires.
+func Example() {
+	cache := core.NewCache(400*core.ItemCost(oodb.ObjectItem(0)), replacement.NewEWMA(0.5))
+
+	item := oodb.AttrItem(17, 2) // attribute 2 of object 17
+	entry := core.Entry{Version: 9, ExpiresAt: 100, FetchedAt: 0}
+	cache.Insert(item, entry, 0)
+
+	if e, state := cache.Lookup(item, 50); state == core.Hit {
+		fmt.Printf("t=50: %v (version %d)\n", state, e.Version)
+	}
+	_, state := cache.Lookup(item, 150)
+	fmt.Printf("t=150: %v\n", state)
+	// Output:
+	// t=50: hit (version 9)
+	// t=150: stale
+}
+
+// CoverItem maps an attribute read to the caching unit of each
+// granularity.
+func ExampleCoverItem() {
+	fmt.Println(core.CoverItem(core.ObjectCaching, 5, 3))
+	fmt.Println(core.CoverItem(core.AttributeCaching, 5, 3))
+	// Output:
+	// obj(5)
+	// attr(5.3)
+}

@@ -1,0 +1,82 @@
+// Package core implements the paper's primary contribution: the mobile
+// caching mechanism (§3) — the client-side cache table over database items,
+// the three caching granularities (attribute, object, hybrid), lease-based
+// validity from the coherence estimator, and pluggable replacement.
+//
+// In the paper the cache table is realized as a mini OODB at the client: a
+// Remote class hierarchy of local surrogates (one per cached server object,
+// holding R.oid and R.host) and a Cache hierarchy holding cached attribute
+// values, with attribute access encapsulated in methods. The machinery is
+// an implementation vehicle for the OODB setting; its observable behaviour
+// is exactly "which (object, attribute) items are cached, with what
+// version, valid until when" — which Cache reproduces with a keyed table
+// (see DESIGN.md, substitutions).
+package core
+
+import "fmt"
+
+// Granularity selects the caching unit (§3.1).
+type Granularity int
+
+const (
+	// NoCache disables storage caching (the paper's base case NC): only
+	// the small LRU memory buffer at the client retains data.
+	NoCache Granularity = iota
+	// AttributeCaching caches individual attributes of individual objects
+	// (AC): the server returns only the attributes the query requested.
+	AttributeCaching
+	// ObjectCaching caches whole objects (OC): the server pushes all
+	// attributes of every qualified object.
+	ObjectCaching
+	// HybridCaching caches attributes, but the server additionally
+	// prefetches attributes of qualified objects whose access probability
+	// clears the prefetching threshold (HC).
+	HybridCaching
+)
+
+// String renders the paper's abbreviation (nc/ac/oc/hc).
+func (g Granularity) String() string {
+	switch g {
+	case NoCache:
+		return "nc"
+	case AttributeCaching:
+		return "ac"
+	case ObjectCaching:
+		return "oc"
+	case HybridCaching:
+		return "hc"
+	default:
+		return fmt.Sprintf("granularity(%d)", int(g))
+	}
+}
+
+// Valid reports whether g is one of the defined granularities.
+func (g Granularity) Valid() bool {
+	return g >= NoCache && g <= HybridCaching
+}
+
+// UsesAttributeItems reports whether the granularity caches attribute-level
+// items (AC and HC) rather than whole objects.
+func (g Granularity) UsesAttributeItems() bool {
+	return g == AttributeCaching || g == HybridCaching
+}
+
+// ParseGranularity parses "nc", "ac", "oc", or "hc" (case-sensitive).
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "nc":
+		return NoCache, nil
+	case "ac":
+		return AttributeCaching, nil
+	case "oc":
+		return ObjectCaching, nil
+	case "hc":
+		return HybridCaching, nil
+	}
+	return 0, fmt.Errorf("core: unknown granularity %q (want nc|ac|oc|hc)", s)
+}
+
+// Granularities lists all four in presentation order.
+func Granularities() []Granularity {
+	return []Granularity{NoCache, AttributeCaching, ObjectCaching, HybridCaching}
+}

@@ -1,0 +1,466 @@
+// Package experiment assembles complete simulations from the substrate
+// packages and reproduces the paper's six experiments (§5): each Exp*
+// function regenerates the rows/series of the corresponding figure.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/broadcast"
+	"repro/internal/client"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// HeatKind selects a heat model family.
+type HeatKind int
+
+const (
+	// SkewedHeat is the paper's SH pattern.
+	SkewedHeat HeatKind = iota
+	// ChangingSkewedHeat is CSH with a configurable change rate.
+	ChangingSkewedHeat
+	// CyclicHeat is the LRU-k style cyclic pattern of Experiment #4.
+	CyclicHeat
+)
+
+// ArrivalKind selects the query arrival process.
+type ArrivalKind int
+
+const (
+	// PoissonArrival is homogeneous Poisson at Rate.
+	PoissonArrival ArrivalKind = iota
+	// BurstyArrival is the vehicle-traffic daily profile.
+	BurstyArrival
+)
+
+// Config fully describes one simulation run. The zero value is completed by
+// Defaults to the paper's Table 1 settings.
+type Config struct {
+	Label string
+	Seed  uint64
+
+	// Population and horizon.
+	NumObjects int
+	NumClients int
+	Days       float64
+	WarmupDays float64
+
+	// Caching.
+	Granularity         core.Granularity
+	Policy              string // replacement spec, e.g. "ewma-0.5"
+	StorageObjects      int    // client storage cache (objects' worth of bytes)
+	MemBufferObjects    int    // client memory buffer
+	ServerBufferObjects int    // server memory buffer
+
+	// Coherence.
+	Beta float64
+
+	// Workload.
+	QueryKind      workload.Kind
+	Heat           HeatKind
+	CSHChangeEvery int // CSH change rate in queries
+	CyclicLoop     int // cyclic loop pool size (objects)
+	CyclicBurst    int // consecutive queries per loop window
+	Arrival        ArrivalKind
+	PoissonRate    float64
+	Selectivity    int
+	AttrsPerObj    int
+	AttrSkewTheta  float64 // attribute access skew (0 = uniform)
+	UpdateProb     float64
+
+	// Hybrid caching prefetch threshold position (mu + kappa*sigma).
+	// NaN selects the server default.
+	PrefetchKappa float64
+
+	// ShedThreshold enables the timeout heuristic of §5.3 when positive:
+	// replies queued at the downlink longer than this many seconds drop
+	// their prefetched items before delivery.
+	ShedThreshold float64
+
+	// Coherence selects the coherence strategy (default: the paper's
+	// leases). ReportInterval is the broadcast period for the
+	// invalidation-report baseline (default coherence.DefaultReportInterval).
+	Coherence      coherence.Strategy
+	ReportInterval float64
+	FixedLease     float64
+
+	// Tracer receives one record per completed query across all clients
+	// (nil = no tracing).
+	Tracer trace.Tracer
+
+	// SharedHotObjects > 0 gives every client a common interest pool of
+	// that many objects, drawn with probability SharedHotProb (default
+	// 0.5); the rest of the traffic follows the private SH pattern. This
+	// models the multi-client commonality that motivates broadcast
+	// dissemination (§1).
+	SharedHotObjects int
+	SharedHotProb    float64
+	// BroadcastAttrs > 0 additionally airs the shared pool's top-N
+	// attribute items on a dedicated broadcast channel; clients answer
+	// covered reads from the air. Requires SharedHotObjects > 0 and an
+	// attribute-granularity scheme (AC/HC).
+	BroadcastAttrs int
+
+	// Disconnection (Experiment #6).
+	DisconnectedClients int
+	DisconnectHours     float64
+}
+
+// Defaults returns cfg with every unset field filled from Table 1.
+func Defaults(cfg Config) Config {
+	if cfg.NumObjects == 0 {
+		cfg.NumObjects = oodb.DefaultNumObjects
+	}
+	if cfg.NumClients == 0 {
+		cfg.NumClients = 10
+	}
+	if cfg.Days == 0 {
+		cfg.Days = 4
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "ewma-0.5"
+	}
+	if cfg.StorageObjects == 0 {
+		// 20% of the database.
+		cfg.StorageObjects = cfg.NumObjects / 5
+	}
+	if cfg.MemBufferObjects == 0 {
+		cfg.MemBufferObjects = client.DefaultMemBufferObjects
+	}
+	if cfg.ServerBufferObjects == 0 {
+		// 25% of the database.
+		cfg.ServerBufferObjects = cfg.NumObjects / 4
+	}
+	if cfg.CSHChangeEvery == 0 {
+		cfg.CSHChangeEvery = 500
+	}
+	if cfg.CyclicLoop == 0 {
+		// The loop pool must (a) fit inside the 20% storage cache with
+		// room for noise churn and (b) revisit much faster than the noise
+		// pool recurs, so the loop is genuinely the hot set: 7.5% of the
+		// database (150 objects at the paper's 2000).
+		cfg.CyclicLoop = cfg.NumObjects * 3 / 40
+	}
+	if cfg.CyclicBurst == 0 {
+		cfg.CyclicBurst = 2
+	}
+	if cfg.PoissonRate == 0 {
+		cfg.PoissonRate = workload.DefaultPoissonRate
+	}
+	if cfg.Selectivity == 0 {
+		cfg.Selectivity = workload.DefaultSelectivity
+	}
+	if cfg.AttrsPerObj == 0 {
+		cfg.AttrsPerObj = workload.DefaultAttrsPerObject
+	}
+	if cfg.AttrSkewTheta == 0 {
+		cfg.AttrSkewTheta = workload.DefaultAttrTheta
+	}
+	if cfg.PrefetchKappa == 0 {
+		cfg.PrefetchKappa = math.NaN()
+	}
+	if cfg.ReportInterval == 0 {
+		cfg.ReportInterval = coherence.DefaultReportInterval
+	}
+	if cfg.SharedHotObjects > 0 && cfg.SharedHotProb == 0 {
+		cfg.SharedHotProb = 0.5
+	}
+	if cfg.BroadcastAttrs > 0 && cfg.SharedHotObjects == 0 {
+		panic("experiment: BroadcastAttrs requires SharedHotObjects")
+	}
+	return cfg
+}
+
+// Horizon returns the simulated duration in seconds.
+func (c Config) Horizon() float64 { return c.Days * workload.SecondsPerDay }
+
+// String renders a compact run identifier.
+func (c Config) String() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return fmt.Sprintf("%s/%s/%s/U=%.2g", c.Granularity, c.Policy, c.QueryKind, c.UpdateProb)
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Config Config
+
+	HitRatio     float64
+	MeanResponse float64
+	ErrorRate    float64
+
+	QueriesIssued uint64
+	QueriesLocal  uint64
+	QueriesRemote uint64
+	Unavailable   uint64
+
+	UplinkUtilization   float64
+	DownlinkUtilization float64
+	DownlinkMeanWait    float64
+	ItemsShed           uint64 // prefetched items dropped by the timeout heuristic
+	CacheDrops          uint64 // whole-cache discards after missed invalidation reports
+	BroadcastReads      uint64 // reads answered from the broadcast channel
+
+	// HourlyResponse / HourlyQueries profile mean response time and load
+	// by hour of the simulated day (Bursty analysis).
+	HourlyResponse [24]float64
+	HourlyQueries  [24]uint64
+
+	// RadioEnergyPerQuery is the mean Joules a client's radio spent per
+	// query (transmit + receive).
+	RadioEnergyPerQuery float64
+
+	Server server.Stats
+
+	PerClient []PerClient
+}
+
+// PerClient is a per-client measurement snapshot.
+type PerClient struct {
+	HitRatio     float64
+	ErrorRate    float64
+	MeanResponse float64
+	Queries      uint64
+}
+
+// Run executes one simulation and returns its measurements. Runs are
+// deterministic in (Config, Seed).
+func Run(cfg Config) Result {
+	cfg = Defaults(cfg)
+	k := sim.NewKernel()
+	db := oodb.New(oodb.Config{
+		NumObjects: cfg.NumObjects,
+		RelSeed:    rng.Derive(cfg.Seed, 0xdb).Uint64(),
+	})
+	srv := server.New(server.Config{
+		Kernel:        k,
+		DB:            db,
+		BufferObjects: cfg.ServerBufferObjects,
+		Beta:          cfg.Beta,
+		UpdateProb:    cfg.UpdateProb,
+		PrefetchKappa: cfg.PrefetchKappa,
+		Seed:          cfg.Seed,
+	})
+	up := network.NewChannel(k, "uplink", network.WirelessBandwidthBps)
+	down := network.NewChannel(k, "downlink", network.WirelessBandwidthBps)
+
+	schedules := workload.BuildSchedules(workload.DisconnectConfig{
+		NumClients:          cfg.NumClients,
+		DisconnectedClients: cfg.DisconnectedClients,
+		DurationHours:       cfg.DisconnectHours,
+		Days:                int(math.Ceil(cfg.Days)),
+		Seed:                cfg.Seed,
+	})
+
+	policyFactory, err := replacement.Parse(cfg.Policy)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+
+	var program *broadcast.Program
+	if cfg.BroadcastAttrs > 0 {
+		pool := workload.SharedPool(cfg.NumObjects, cfg.Seed, cfg.SharedHotObjects)
+		program = broadcast.New(
+			broadcast.HotAttrItems(pool, cfg.BroadcastAttrs),
+			network.WirelessBandwidthBps, 0)
+	}
+
+	clientMetrics := make([]*metrics.Client, cfg.NumClients)
+	clients := make([]*client.Client, cfg.NumClients)
+	for i := 0; i < cfg.NumClients; i++ {
+		heat := buildHeat(cfg, i)
+		gen := workload.NewQueryGen(workload.QueryGenConfig{
+			Kind:          cfg.QueryKind,
+			Heat:          heat,
+			DB:            db,
+			Selectivity:   cfg.Selectivity,
+			AttrsPerObj:   cfg.AttrsPerObj,
+			AttrSkewTheta: cfg.AttrSkewTheta,
+		})
+		var arrival workload.Arrival
+		switch cfg.Arrival {
+		case PoissonArrival:
+			arrival = workload.NewPoisson(cfg.PoissonRate)
+		case BurstyArrival:
+			arrival = workload.NewDefaultBursty()
+		default:
+			panic(fmt.Sprintf("experiment: unknown arrival kind %d", cfg.Arrival))
+		}
+		m := &metrics.Client{Warmup: cfg.WarmupDays * workload.SecondsPerDay}
+		clientMetrics[i] = m
+
+		var pol replacement.Policy
+		if cfg.Granularity != core.NoCache {
+			pol = policyFactory()
+		}
+		cl := client.New(client.Config{
+			ID:               i,
+			Kernel:           k,
+			Server:           srv,
+			Up:               up,
+			Down:             down,
+			Granularity:      cfg.Granularity,
+			Policy:           pol,
+			StorageBytes:     cfg.StorageObjects * core.ItemCost(oodb.ObjectItem(0)),
+			MemBufferObjects: cfg.MemBufferObjects,
+			Gen:              gen,
+			Arrival:          arrival,
+			Schedule:         schedules[i],
+			Metrics:          m,
+			Seed:             rng.Derive(cfg.Seed, 0xc0+uint64(i)).Uint64(),
+			Horizon:          cfg.Horizon(),
+			ShedThreshold:    cfg.ShedThreshold,
+			Coherence:        cfg.Coherence,
+			FixedLease:       cfg.FixedLease,
+			Tracer:           cfg.Tracer,
+			Broadcast:        program,
+		})
+		clients[i] = cl
+		cl.Start()
+	}
+
+	if cfg.Coherence == coherence.InvalidationReportStrategy {
+		startBroadcaster(k, cfg, srv, down, clients, schedules)
+	}
+
+	k.RunAll()
+	k.Drain()
+
+	var agg metrics.Aggregate
+	var shed, drops, bcastReads uint64
+	var energy float64
+	perClient := make([]PerClient, len(clientMetrics))
+	for i, m := range clientMetrics {
+		agg.Merge(m)
+		shed += clients[i].ShedItems()
+		drops += clients[i].CacheDrops()
+		bcastReads += clients[i].BroadcastReads()
+		energy += clients[i].RadioEnergy()
+		issued, _, _, _ := m.Queries()
+		perClient[i] = PerClient{
+			HitRatio:     m.HitRatio(),
+			ErrorRate:    m.ErrorRate(),
+			MeanResponse: m.MeanResponse(),
+			Queries:      issued,
+		}
+	}
+	hourlyMean, hourlyCount := agg.HourlyResponse()
+	energyPerQuery := 0.0
+	if agg.Issued > 0 {
+		energyPerQuery = energy / float64(agg.Issued)
+	}
+	return Result{
+		Config:              cfg,
+		HitRatio:            agg.HitRatio(),
+		MeanResponse:        agg.MeanResponse(),
+		ErrorRate:           agg.ErrorRate(),
+		QueriesIssued:       agg.Issued,
+		QueriesLocal:        agg.Local,
+		QueriesRemote:       agg.Remote,
+		Unavailable:         agg.Unavail,
+		UplinkUtilization:   up.Utilization(),
+		DownlinkUtilization: down.Utilization(),
+		DownlinkMeanWait:    down.MeanWait(),
+		ItemsShed:           shed,
+		CacheDrops:          drops,
+		BroadcastReads:      bcastReads,
+		HourlyResponse:      hourlyMean,
+		HourlyQueries:       hourlyCount,
+		RadioEnergyPerQuery: energyPerQuery,
+		Server:              srv.Stats(),
+		PerClient:           perClient,
+	}
+}
+
+// startBroadcaster spawns the invalidation-report broadcast process: every
+// ReportInterval seconds the server pushes a report over the shared
+// downlink (header plus one item reference per update since the previous
+// report) and every *connected* client applies it; disconnected clients
+// miss it and will drop their caches on the next report they do receive.
+func startBroadcaster(k *sim.Kernel, cfg Config, srv *server.Server,
+	down *network.Channel, clients []*client.Client, schedules []*network.Schedule) {
+
+	horizon := cfg.Horizon()
+	k.Spawn("ir-broadcast", func(p *sim.Proc) {
+		var seq, lastUpdates uint64
+		for {
+			p.Hold(cfg.ReportInterval)
+			if p.Now() > horizon {
+				return
+			}
+			seq++
+			updates := srv.Stats().UpdatesApplied
+			delta := int(updates - lastUpdates)
+			lastUpdates = updates
+			size := network.HeaderSize + delta*(network.OIDSize+network.AttrRefSize)
+			down.Send(p, size)
+			now := p.Now()
+			for i, cl := range clients {
+				if schedules[i].Connected(now) {
+					cl.ApplyInvalidationReport(now, seq)
+				}
+			}
+		}
+	})
+}
+
+// buildHeat instantiates the per-client heat model; each client gets its
+// own hot set ("we ensure that the hot objects of each client are not
+// identical", §4).
+func buildHeat(cfg Config, clientID int) workload.HeatModel {
+	seed := rng.Derive(cfg.Seed, 0x8ea7000+uint64(clientID)).Uint64()
+	if cfg.SharedHotObjects > 0 {
+		return workload.NewSharedSkewedHeat(cfg.NumObjects, cfg.Seed, seed,
+			cfg.SharedHotObjects, cfg.SharedHotProb)
+	}
+	switch cfg.Heat {
+	case SkewedHeat:
+		return workload.NewSkewedHeat(cfg.NumObjects, seed)
+	case ChangingSkewedHeat:
+		return workload.NewChangingSkewedHeat(cfg.NumObjects, seed, cfg.CSHChangeEvery)
+	case CyclicHeat:
+		return workload.NewCyclicHeat(workload.CyclicConfig{
+			NumObjects:   cfg.NumObjects,
+			LoopObjects:  cfg.CyclicLoop,
+			LoopPerQuery: max(1, cfg.Selectivity/4),
+			Burst:        cfg.CyclicBurst,
+			Seed:         seed,
+		})
+	default:
+		panic(fmt.Sprintf("experiment: unknown heat kind %d", cfg.Heat))
+	}
+}
+
+// HeatName renders the heat configuration for table headers.
+func (c Config) HeatName() string {
+	switch c.Heat {
+	case SkewedHeat:
+		return "SH"
+	case ChangingSkewedHeat:
+		return fmt.Sprintf("CSH-%d", c.CSHChangeEvery)
+	case CyclicHeat:
+		return "cyclic"
+	default:
+		return "?"
+	}
+}
+
+// ArrivalName renders the arrival configuration for table headers.
+func (c Config) ArrivalName() string {
+	if c.Arrival == BurstyArrival {
+		return "Bursty"
+	}
+	return "Poisson"
+}

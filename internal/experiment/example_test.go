@@ -1,0 +1,39 @@
+package experiment_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+// Run one simulation: the paper's Table-1 defaults scaled down to a tiny
+// deterministic run.
+func ExampleRun() {
+	res := experiment.Run(experiment.Config{
+		Seed:        1,
+		NumObjects:  200,
+		NumClients:  2,
+		Days:        0.02,
+		Granularity: core.HybridCaching,
+		QueryKind:   workload.Associative,
+		Heat:        experiment.SkewedHeat,
+		UpdateProb:  0.1,
+	})
+	fmt.Println("queries:", res.QueriesIssued)
+	fmt.Println("deterministic:", res.QueriesIssued ==
+		experiment.Run(experiment.Config{
+			Seed:        1,
+			NumObjects:  200,
+			NumClients:  2,
+			Days:        0.02,
+			Granularity: core.HybridCaching,
+			QueryKind:   workload.Associative,
+			Heat:        experiment.SkewedHeat,
+			UpdateProb:  0.1,
+		}).QueriesIssued)
+	// Output:
+	// queries: 38
+	// deterministic: true
+}

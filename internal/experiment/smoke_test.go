@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// smallCfg is a scaled-down config for integration tests: same ratios as
+// Table 1 (20% storage, 25% server buffer) over a smaller population and a
+// shorter horizon, so the whole suite stays fast.
+func smallCfg() Config {
+	return Config{
+		Seed:        1,
+		NumObjects:  400,
+		NumClients:  4,
+		Days:        0.25,
+		Granularity: core.HybridCaching,
+		QueryKind:   workload.Associative,
+		Heat:        SkewedHeat,
+		UpdateProb:  0.1,
+	}
+}
+
+func TestSmokeRun(t *testing.T) {
+	res := Run(smallCfg())
+	if res.QueriesIssued == 0 {
+		t.Fatal("no queries issued")
+	}
+	if res.HitRatio <= 0 || res.HitRatio >= 1 {
+		t.Fatalf("hit ratio %v out of (0,1)", res.HitRatio)
+	}
+	if res.MeanResponse <= 0 {
+		t.Fatalf("mean response %v", res.MeanResponse)
+	}
+	t.Logf("result: hit=%.1f%% resp=%.3fs err=%.2f%% queries=%d upUtil=%.2f downUtil=%.2f",
+		100*res.HitRatio, res.MeanResponse, 100*res.ErrorRate,
+		res.QueriesIssued, res.UplinkUtilization, res.DownlinkUtilization)
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(smallCfg())
+	b := Run(smallCfg())
+	if a.HitRatio != b.HitRatio || a.MeanResponse != b.MeanResponse ||
+		a.ErrorRate != b.ErrorRate || a.QueriesIssued != b.QueriesIssued {
+		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+	cfg := smallCfg()
+	cfg.Seed = 2
+	c := Run(cfg)
+	if c.HitRatio == a.HitRatio && c.QueriesIssued == a.QueriesIssued {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}

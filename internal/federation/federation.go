@@ -1,0 +1,301 @@
+// Package federation implements the first extension the paper's
+// conclusion sketches (§6): "a mobile client might request items from
+// multiple servers, possibly under different cells ... the contact server
+// for a client might have to request and even cache items from other
+// remote servers on behalf of the client."
+//
+// The database is range-partitioned across M server nodes. Every mobile
+// client talks (over its cell's wireless channels) only to its cell's
+// *contact server*; reads that land on another node's partition are
+// relayed over a fixed backbone network, and the contact server can keep a
+// lease-respecting *relay cache* of remote items so repeated remote reads
+// are served within the cell.
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Backbone defaults: a fixed inter-server network is orders of magnitude
+// faster than the 19.2 Kbps wireless links but not free.
+const (
+	// DefaultBackboneBandwidthBps is the inter-server link bandwidth.
+	DefaultBackboneBandwidthBps = 10e6
+	// DefaultBackboneLatency is the per-message propagation delay in
+	// seconds between two server nodes.
+	DefaultBackboneLatency = 0.005
+)
+
+// Config parameterizes a federation of database servers.
+type Config struct {
+	Kernel *sim.Kernel
+	// DB is the global object space; ownership is range-partitioned
+	// across NumServers nodes.
+	DB         *oodb.Database
+	NumServers int
+	// Per-node server parameters (see server.Config). BufferObjects is
+	// per node; zero derives 25% of the node's partition.
+	BufferObjects int
+	Beta          float64
+	UpdateProb    float64
+	PrefetchKappa float64
+	Seed          uint64
+	// RelayCacheObjects enables the contact servers' relay caches when
+	// positive: each node may cache that many objects' worth of remote
+	// items (with the owners' leases).
+	RelayCacheObjects int
+	// Backbone link parameters; zero selects the defaults above.
+	BackboneBandwidthBps float64
+	BackboneLatency      float64
+}
+
+// Cluster is a set of federated server nodes over one partitioned
+// database.
+type Cluster struct {
+	kernel   *sim.Kernel
+	db       *oodb.Database
+	nodes    []*node
+	latency  float64
+	oracle   *coherence.Oracle
+	relayCap int
+}
+
+// node is one server plus its backbone links and optional relay cache.
+type node struct {
+	id    int
+	srv   *server.Server
+	links []*network.Channel // links[j]: node -> node j (nil for self)
+	relay *core.Cache        // nil when relay caching is disabled
+
+	relayHits   uint64
+	relayMisses uint64
+	relayed     uint64 // reads forwarded to remote owners
+}
+
+// New builds a cluster. Each node gets its own disk, memory buffer,
+// refresh estimators, and attribute-heat tracking (via server.New over the
+// shared object space); backbone links are dedicated per ordered node
+// pair.
+func New(cfg Config) *Cluster {
+	if cfg.Kernel == nil || cfg.DB == nil {
+		panic("federation: Config requires Kernel and DB")
+	}
+	if cfg.NumServers < 1 {
+		panic("federation: NumServers must be >= 1")
+	}
+	bw := cfg.BackboneBandwidthBps
+	if bw == 0 {
+		bw = DefaultBackboneBandwidthBps
+	}
+	lat := cfg.BackboneLatency
+	if lat == 0 {
+		lat = DefaultBackboneLatency
+	}
+	bufObjs := cfg.BufferObjects
+	if bufObjs == 0 {
+		bufObjs = cfg.DB.NumObjects() / cfg.NumServers / 4
+		if bufObjs < 1 {
+			bufObjs = 1
+		}
+	}
+	c := &Cluster{
+		kernel:   cfg.Kernel,
+		db:       cfg.DB,
+		latency:  lat,
+		oracle:   coherence.NewOracle(cfg.DB),
+		relayCap: cfg.RelayCacheObjects,
+	}
+	for i := 0; i < cfg.NumServers; i++ {
+		n := &node{
+			id: i,
+			srv: server.New(server.Config{
+				Kernel:        cfg.Kernel,
+				DB:            cfg.DB,
+				BufferObjects: bufObjs,
+				Beta:          cfg.Beta,
+				UpdateProb:    cfg.UpdateProb,
+				PrefetchKappa: cfg.PrefetchKappa,
+				Seed:          cfg.Seed + uint64(i)*0x9e37,
+			}),
+			links: make([]*network.Channel, cfg.NumServers),
+		}
+		if cfg.RelayCacheObjects > 0 {
+			n.relay = core.NewCache(
+				cfg.RelayCacheObjects*core.ItemCost(oodb.ObjectItem(0)),
+				replacement.NewLRU())
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	for i := range c.nodes {
+		for j := range c.nodes {
+			if i == j {
+				continue
+			}
+			c.nodes[i].links[j] = network.NewChannel(cfg.Kernel,
+				fmt.Sprintf("backbone-%d-%d", i, j), bw)
+		}
+	}
+	return c
+}
+
+// NumServers returns the cluster size.
+func (c *Cluster) NumServers() int { return len(c.nodes) }
+
+// Owner returns the node owning oid (range partition).
+func (c *Cluster) Owner(oid oodb.OID) int {
+	return int(oid) * len(c.nodes) / c.db.NumObjects()
+}
+
+// Node exposes node i's underlying server (diagnostics and tests).
+func (c *Cluster) Node(i int) *server.Server { return c.nodes[i].srv }
+
+// Contact returns the contact-server backend for cell i; mobile clients in
+// that cell plug it into client.Config.Server.
+func (c *Cluster) Contact(i int) *ContactServer {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("federation: no cell %d in a %d-node cluster", i, len(c.nodes)))
+	}
+	return &ContactServer{cluster: c, home: c.nodes[i]}
+}
+
+// RelayStats reports node i's relay-cache effectiveness.
+func (c *Cluster) RelayStats(i int) (hits, misses, relayedReads uint64) {
+	n := c.nodes[i]
+	return n.relayHits, n.relayMisses, n.relayed
+}
+
+// ContactServer is the client-facing backend of one cell: it serves its
+// own partition directly and relays (or relay-caches) the rest.
+type ContactServer struct {
+	cluster *Cluster
+	home    *node
+}
+
+var _ interface {
+	Process(p *sim.Proc, req server.Request) server.Reply
+	Oracle() *coherence.Oracle
+} = (*ContactServer)(nil)
+
+// Oracle exposes the global perfect-knowledge oracle.
+func (cs *ContactServer) Oracle() *coherence.Oracle { return cs.cluster.oracle }
+
+// Process serves one client request: the home partition locally, remote
+// partitions through the relay cache and backbone.
+func (cs *ContactServer) Process(p *sim.Proc, req server.Request) server.Reply {
+	c := cs.cluster
+	if len(c.nodes) == 1 {
+		return cs.home.srv.Process(p, req)
+	}
+
+	// Split the request by owning node.
+	type part struct {
+		accesses []workload.ReadOp
+		need     []workload.ReadOp
+	}
+	parts := make([]part, len(c.nodes))
+	for _, rd := range req.Accesses {
+		o := c.Owner(rd.OID)
+		parts[o].accesses = append(parts[o].accesses, rd)
+	}
+	for _, rd := range req.Need {
+		o := c.Owner(rd.OID)
+		parts[o].need = append(parts[o].need, rd)
+	}
+
+	var out server.Reply
+
+	// Home partition: evaluated exactly as the single-server system.
+	homeReq := req
+	homeReq.Accesses = parts[cs.home.id].accesses
+	homeReq.Need = parts[cs.home.id].need
+	if len(homeReq.Accesses) > 0 || len(homeReq.Need) > 0 {
+		rep := cs.home.srv.Process(p, homeReq)
+		out.Items = append(out.Items, rep.Items...)
+	}
+
+	// Remote partitions, in node order (determinism).
+	for o := range parts {
+		if o == cs.home.id {
+			continue
+		}
+		pt := parts[o]
+		if len(pt.accesses) == 0 && len(pt.need) == 0 {
+			continue
+		}
+		out.Items = append(out.Items, cs.processRemote(p, req, o, pt.accesses, pt.need)...)
+	}
+	return out
+}
+
+// processRemote serves the portion of a request owned by remote node o.
+func (cs *ContactServer) processRemote(p *sim.Proc, req server.Request, o int,
+	accesses, need []workload.ReadOp) []server.ReplyItem {
+
+	c := cs.cluster
+	home, remote := cs.home, c.nodes[o]
+	now := p.Now()
+
+	// Relay cache: serve valid remote copies from the cell, forwarding
+	// only the rest. Prefetch decisions stay with the owner, so the relay
+	// only answers exact reads.
+	var served []server.ReplyItem
+	forward := need
+	if home.relay != nil {
+		forward = need[:0:0]
+		for _, rd := range need {
+			it := core.CoverItem(req.Granularity, rd.OID, rd.Attr)
+			if e, st := home.relay.Lookup(it, now); st == core.Hit {
+				home.relayHits++
+				served = append(served, server.ReplyItem{
+					Item:    it,
+					Version: e.Version,
+					Refresh: e.ExpiresAt - now,
+				})
+				continue
+			}
+			home.relayMisses++
+			forward = append(forward, rd)
+		}
+	}
+
+	// The owner must still see every access for its update model and heat
+	// tracking, even when the relay answered the reads.
+	home.relayed += uint64(len(forward))
+	link, back := home.links[o], remote.links[cs.home.id]
+
+	// Relay request over the backbone.
+	p.Hold(c.latency)
+	link.Send(p, network.RequestSize(len(accesses)-len(forward)))
+	remoteReq := req
+	remoteReq.Accesses = accesses
+	remoteReq.Need = forward
+	rep := remote.srv.Process(p, remoteReq)
+	p.Hold(c.latency)
+	back.Send(p, rep.WireSize())
+
+	// Fill the relay cache with what came back (leases included).
+	if home.relay != nil && len(rep.Items) > 0 {
+		batch := make([]core.BatchEntry, 0, len(rep.Items))
+		for _, item := range rep.Items {
+			batch = append(batch, core.BatchEntry{
+				Item: item.Item,
+				Entry: core.Entry{
+					Version:   item.Version,
+					ExpiresAt: p.Now() + item.Refresh,
+					FetchedAt: p.Now(),
+				},
+			})
+		}
+		home.relay.InsertBatch(batch, p.Now())
+	}
+	return append(served, rep.Items...)
+}

@@ -1,0 +1,178 @@
+// Package metrics collects the three performance metrics of §5 — average
+// cache hit ratio, average response time, and error rate — plus supporting
+// counters, per client and aggregated across clients.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// hoursPerDay buckets the time-of-day profile.
+const hoursPerDay = 24
+
+// secondsPerHour converts simulation time to day buckets.
+const secondsPerHour = 3600.0
+
+// Client accumulates one mobile client's measurements. Observations before
+// the warm-up horizon are discarded so steady-state numbers are not skewed
+// by the initially cold cache (set Warmup to 0 to keep everything, as the
+// paper's 4-day averages effectively do).
+type Client struct {
+	Warmup float64
+
+	hits    stats.Ratio // local accesses satisfied by an unexpired item
+	errors  stats.Ratio // reads that violated coherence (oracle-checked)
+	resp    stats.Welford
+	respRaw stats.Summary
+
+	queriesIssued       uint64
+	queriesLocal        uint64 // fully served from cache
+	queriesRemote       uint64 // required a round trip
+	queriesDisconnected uint64 // issued while disconnected
+	readsUnavailable    uint64 // reads unsatisfiable during disconnection
+
+	hourly [hoursPerDay]stats.Welford // response times by hour of day
+}
+
+// RecordAccess records one attribute read: hit says whether it was served
+// by a locally valid (unexpired) item.
+func (c *Client) RecordAccess(now float64, hit bool) {
+	if now < c.Warmup {
+		return
+	}
+	c.hits.Add(hit)
+}
+
+// RecordError records whether a read violated coherence. Every read gets a
+// call so the error denominator is total reads, matching §5's "percentage
+// of read errors the clients encountered".
+func (c *Client) RecordError(now float64, isError bool) {
+	if now < c.Warmup {
+		return
+	}
+	c.errors.Add(isError)
+}
+
+// RecordUnavailable counts a read that could not be satisfied at all
+// (disconnected, not cached).
+func (c *Client) RecordUnavailable(now float64) {
+	if now < c.Warmup {
+		return
+	}
+	c.readsUnavailable++
+}
+
+// RecordQuery records one completed query.
+func (c *Client) RecordQuery(issuedAt, completedAt float64, remote, disconnected bool) {
+	if issuedAt < c.Warmup {
+		return
+	}
+	c.queriesIssued++
+	if remote {
+		c.queriesRemote++
+	} else {
+		c.queriesLocal++
+	}
+	if disconnected {
+		c.queriesDisconnected++
+	}
+	rt := completedAt - issuedAt
+	c.resp.Add(rt)
+	c.respRaw.Add(rt)
+	hour := int(math.Mod(issuedAt/secondsPerHour, hoursPerDay))
+	if hour >= 0 && hour < hoursPerDay {
+		c.hourly[hour].Add(rt)
+	}
+}
+
+// HourlyResponse returns the mean response time and query count for each
+// hour of the simulated day — the profile that exposes the Bursty
+// pattern's downlink backlog.
+func (c *Client) HourlyResponse() (mean [24]float64, count [24]uint64) {
+	for h := range c.hourly {
+		mean[h] = c.hourly[h].Mean()
+		count[h] = c.hourly[h].Count()
+	}
+	return mean, count
+}
+
+// HitRatio returns the fraction of reads served by locally valid items.
+func (c *Client) HitRatio() float64 { return c.hits.Value() }
+
+// ErrorRate returns the fraction of reads that violated coherence.
+func (c *Client) ErrorRate() float64 { return c.errors.Value() }
+
+// MeanResponse returns the mean query response time in seconds.
+func (c *Client) MeanResponse() float64 { return c.resp.Mean() }
+
+// ResponseSummary exposes the full response-time distribution.
+func (c *Client) ResponseSummary() *stats.Summary { return &c.respRaw }
+
+// Queries returns (issued, local, remote, disconnected) query counts.
+func (c *Client) Queries() (issued, local, remote, disconnected uint64) {
+	return c.queriesIssued, c.queriesLocal, c.queriesRemote, c.queriesDisconnected
+}
+
+// Unavailable returns the number of unsatisfiable reads.
+func (c *Client) Unavailable() uint64 { return c.readsUnavailable }
+
+// Accesses returns the total number of recorded reads.
+func (c *Client) Accesses() uint64 { return c.hits.Denom }
+
+// Errors returns the absolute number of erroneous reads.
+func (c *Client) Errors() uint64 { return c.errors.Num }
+
+// Aggregate is the across-clients average the paper reports.
+type Aggregate struct {
+	Hits    stats.Ratio
+	Errs    stats.Ratio
+	Resp    stats.Welford
+	Issued  uint64
+	Local   uint64
+	Remote  uint64
+	Unavail uint64
+
+	hourly [hoursPerDay]stats.Welford
+}
+
+// Merge folds one client's measurements into the aggregate.
+func (a *Aggregate) Merge(c *Client) {
+	a.Hits.Merge(c.hits)
+	a.Errs.Merge(c.errors)
+	a.Resp.Merge(&c.resp)
+	a.Issued += c.queriesIssued
+	a.Local += c.queriesLocal
+	a.Remote += c.queriesRemote
+	a.Unavail += c.readsUnavailable
+	for h := range c.hourly {
+		a.hourly[h].Merge(&c.hourly[h])
+	}
+}
+
+// HourlyResponse returns the pooled mean response time and query count per
+// hour of day.
+func (a *Aggregate) HourlyResponse() (mean [24]float64, count [24]uint64) {
+	for h := range a.hourly {
+		mean[h] = a.hourly[h].Mean()
+		count[h] = a.hourly[h].Count()
+	}
+	return mean, count
+}
+
+// HitRatio returns the pooled hit ratio across clients.
+func (a *Aggregate) HitRatio() float64 { return a.Hits.Value() }
+
+// ErrorRate returns the pooled error rate across clients.
+func (a *Aggregate) ErrorRate() float64 { return a.Errs.Value() }
+
+// MeanResponse returns the pooled mean response time.
+func (a *Aggregate) MeanResponse() float64 { return a.Resp.Mean() }
+
+// String formats the aggregate as a table-ready fragment.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("hit=%.1f%% resp=%.3fs err=%.2f%% queries=%d",
+		100*a.HitRatio(), a.MeanResponse(), 100*a.ErrorRate(), a.Issued)
+}

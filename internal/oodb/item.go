@@ -1,0 +1,41 @@
+package oodb
+
+import "fmt"
+
+// WholeObject is the AttrID sentinel meaning "the entire object" — the
+// caching unit under object granularity (OC). Attribute and hybrid caching
+// use concrete attribute ids instead.
+const WholeObject AttrID = 0xFF
+
+// Item names a cacheable database item: either a whole object or a single
+// attribute of an object, matching the paper's two caching units.
+type Item struct {
+	OID  OID
+	Attr AttrID
+}
+
+// ObjectItem returns the whole-object item for oid.
+func ObjectItem(oid OID) Item { return Item{OID: oid, Attr: WholeObject} }
+
+// AttrItem returns the single-attribute item for (oid, attr).
+func AttrItem(oid OID, attr AttrID) Item { return Item{OID: oid, Attr: attr} }
+
+// IsObject reports whether the item is a whole object.
+func (it Item) IsObject() bool { return it.Attr == WholeObject }
+
+// Size returns the item's payload size in bytes (ObjectSize for whole
+// objects, AttrSize for attributes).
+func (it Item) Size() int {
+	if it.IsObject() {
+		return ObjectSize
+	}
+	return AttrSize
+}
+
+// String renders the item for logs and test failures.
+func (it Item) String() string {
+	if it.IsObject() {
+		return fmt.Sprintf("obj(%d)", it.OID)
+	}
+	return fmt.Sprintf("attr(%d.%d)", it.OID, it.Attr)
+}

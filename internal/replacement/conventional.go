@@ -1,0 +1,525 @@
+package replacement
+
+import (
+	"fmt"
+
+	"repro/internal/oodb"
+	"repro/internal/rng"
+)
+
+// ---------------------------------------------------------------- LRU ----
+
+type lruState struct {
+	last float64
+}
+
+// lru evicts the item with the oldest last access (LRU-1 in the paper).
+type lru struct {
+	core scanCore[lruState]
+}
+
+// NewLRU returns the least-recently-used policy.
+func NewLRU() Policy {
+	p := &lru{}
+	p.core = newScanCore(func(s *lruState, now float64) float64 {
+		return now - s.last
+	})
+	return p
+}
+
+// NewLRUFactory returns a Factory for NewLRU.
+func NewLRUFactory() Factory { return func() Policy { return NewLRU() } }
+
+func (p *lru) Name() string { return "lru" }
+
+func (p *lru) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		s.last = now
+		return
+	}
+	p.core.add(it, &lruState{last: now})
+}
+
+func (p *lru) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	s.last = now
+}
+
+func (p *lru) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *lru) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *lru) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *lru) Len() int                               { return p.core.len() }
+
+// -------------------------------------------------------------- LRU-k ----
+
+// accessRing keeps the last k access times.
+type accessRing struct {
+	times []float64
+	head  int
+	n     int
+}
+
+func newAccessRing(k int) *accessRing { return &accessRing{times: make([]float64, k)} }
+
+func (r *accessRing) push(t float64) {
+	r.times[r.head] = t
+	r.head = (r.head + 1) % len(r.times)
+	if r.n < len(r.times) {
+		r.n++
+	}
+}
+
+// kth returns the k-th most recent access time and whether k accesses exist.
+func (r *accessRing) kth() (float64, bool) {
+	if r.n < len(r.times) {
+		return 0, false
+	}
+	return r.times[r.head], true // head points at the oldest retained time
+}
+
+// last returns the most recent access time.
+func (r *accessRing) last() float64 {
+	idx := (r.head - 1 + len(r.times)) % len(r.times)
+	return r.times[idx]
+}
+
+// DefaultCorrelatedPeriod is the default Correlated Reference Period for
+// LRU-k, in simulated seconds: references closer together than this are
+// treated as one reference (a single query burst), and items referenced
+// within the period are not eviction candidates. Two mean query
+// inter-arrival times (2 × 1/0.01 s) covers intra-burst re-references.
+const DefaultCorrelatedPeriod = 200.0
+
+// lruKState is an item's reference history: the ring holds uncorrelated
+// reference times; last tracks the most recent (possibly correlated)
+// access for CRP decisions.
+type lruKState struct {
+	ring *accessRing
+	last float64
+}
+
+// lruK implements LRU-k [O'Neil et al., SIGMOD'93]: the victim is the item
+// with the maximum backward k-distance, i.e. the oldest k-th most recent
+// uncorrelated reference. Items with fewer than k references have infinite
+// backward k-distance and are preferred victims, tie-broken by oldest last
+// access.
+//
+// Two refinements from the original algorithm are essential under cache
+// pressure and are implemented here:
+//
+//   - Retained Information: reference history survives eviction (here
+//     unbounded — simulated populations are small), so a hot item is
+//     recognized immediately on re-insertion instead of restarting at one
+//     reference.
+//   - Correlated Reference Period: references within crp seconds collapse
+//     into one, and an item accessed within the last crp seconds is
+//     protected from eviction — otherwise every item fetched by the
+//     current query would be a prime (infinite-distance) victim for the
+//     same query's later insertions.
+type lruK struct {
+	k       int
+	crp     float64
+	core    scanCore[lruKState]
+	history map[oodb.Item]*lruKState
+}
+
+// NewLRUK returns the LRU-k policy with the default correlated reference
+// period. It panics if k < 1.
+func NewLRUK(k int) Policy { return NewLRUKCRP(k, DefaultCorrelatedPeriod) }
+
+// NewLRUKCRP returns LRU-k with an explicit correlated reference period
+// (0 disables reference collapsing and eviction protection).
+func NewLRUKCRP(k int, crp float64) Policy {
+	if k < 1 {
+		panic("replacement: LRU-k requires k >= 1")
+	}
+	if crp < 0 {
+		panic("replacement: LRU-k correlated period must be >= 0")
+	}
+	p := &lruK{k: k, crp: crp, history: make(map[oodb.Item]*lruKState)}
+	p.core = newScanCore(func(s *lruKState, now float64) float64 {
+		// The class separator must dominate any finite backward distance
+		// while leaving float64 precision for the staleness tie-breaks
+		// added to it (ulp(1e12) ~ 1e-4 s; 1e18 would swallow them).
+		const inf = 1e12
+		if p.crp > 0 && now-s.last < p.crp {
+			// Correlated period: protected. Orders behind every candidate;
+			// among protected items the stalest goes first if eviction is
+			// unavoidable.
+			return -inf + (now - s.last)
+		}
+		if kth, ok := s.ring.kth(); ok {
+			return now - kth
+		}
+		// Infinite backward k-distance: dominates any finite distance;
+		// ordered among themselves by last access.
+		return inf + (now - s.last)
+	})
+	return p
+}
+
+// NewLRUKFactory returns a Factory for NewLRUK(k).
+func NewLRUKFactory(k int) Factory { return func() Policy { return NewLRUK(k) } }
+
+func (p *lruK) Name() string { return fmt.Sprintf("lru-%d", p.k) }
+
+// record applies one access with reference collapsing.
+func (p *lruK) record(s *lruKState, now float64) {
+	if s.ring.n == 0 || now-s.last >= p.crp {
+		s.ring.push(now)
+	}
+	s.last = now
+}
+
+func (p *lruK) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		p.record(s, now)
+		return
+	}
+	s, ok := p.history[it]
+	if !ok {
+		s = &lruKState{ring: newAccessRing(p.k)}
+		p.history[it] = s
+	}
+	p.record(s, now)
+	p.core.add(it, s)
+}
+
+func (p *lruK) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	p.record(s, now)
+}
+
+func (p *lruK) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *lruK) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *lruK) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *lruK) Len() int                               { return p.core.len() }
+
+// ---------------------------------------------------------------- LRD ----
+
+// DefaultLRDInterval is the reference-count aging period used in
+// Experiment #2: "the reference count of each database item is divided by 2
+// every 1000 seconds".
+const DefaultLRDInterval = 1000.0
+
+type lrdState struct {
+	refs     float64
+	enter    float64 // first-access time
+	lastAged float64
+}
+
+func (s *lrdState) age(now, interval float64) {
+	for now-s.lastAged >= interval {
+		s.refs /= 2
+		s.lastAged += interval
+	}
+}
+
+// lrd implements least-reference-density with periodic aging: the victim
+// has the minimum time-decayed reference count, where counts are halved
+// every interval seconds (applied lazily) — Experiment #2's "the reference
+// count of each database item is divided by 2 every 1000 seconds". The
+// halving is the aging: an item's decayed count converges to a constant
+// multiple of its access rate, and the count of an abandoned item decays
+// geometrically, which is what lets LRD adapt to hot-spot changes faster
+// than LRU (Figure 5) while adapting slower than EWMA.
+type lrd struct {
+	interval float64
+	core     scanCore[lrdState]
+}
+
+// NewLRD returns the LRD policy with the given aging interval.
+func NewLRD(interval float64) Policy {
+	if interval <= 0 {
+		panic("replacement: LRD interval must be positive")
+	}
+	p := &lrd{interval: interval}
+	p.core = newScanCore(func(s *lrdState, now float64) float64 {
+		s.age(now, p.interval)
+		return -s.refs // min decayed density == max badness
+	})
+	return p
+}
+
+// NewLRDFactory returns a Factory for NewLRD(interval).
+func NewLRDFactory(interval float64) Factory { return func() Policy { return NewLRD(interval) } }
+
+func (p *lrd) Name() string { return "lrd" }
+
+func (p *lrd) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		s.age(now, p.interval)
+		s.refs++
+		return
+	}
+	p.core.add(it, &lrdState{refs: 1, enter: now, lastAged: now})
+}
+
+func (p *lrd) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	s.age(now, p.interval)
+	s.refs++
+}
+
+func (p *lrd) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *lrd) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *lrd) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *lrd) Len() int                               { return p.core.len() }
+
+// --------------------------------------------------------------- FIFO ----
+
+type fifoState struct {
+	seq uint64
+}
+
+// fifo evicts in insertion order, ignoring accesses.
+type fifo struct {
+	core scanCore[fifoState]
+	n    uint64
+}
+
+// NewFIFO returns the first-in-first-out baseline.
+func NewFIFO() Policy {
+	p := &fifo{}
+	p.core = newScanCore(func(s *fifoState, _ float64) float64 {
+		return -float64(s.seq)
+	})
+	return p
+}
+
+// NewFIFOFactory returns a Factory for NewFIFO.
+func NewFIFOFactory() Factory { return func() Policy { return NewFIFO() } }
+
+func (p *fifo) Name() string { return "fifo" }
+
+func (p *fifo) OnInsert(it oodb.Item, now float64) {
+	if _, ok := p.core.get(it); ok {
+		return
+	}
+	p.n++
+	p.core.add(it, &fifoState{seq: p.n})
+}
+
+func (p *fifo) OnAccess(it oodb.Item, now float64) {
+	_, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+}
+
+func (p *fifo) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *fifo) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *fifo) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *fifo) Len() int                               { return p.core.len() }
+
+// -------------------------------------------------------------- CLOCK ----
+
+// clock implements the second-chance approximation of LRU: items sit on a
+// circular list with a referenced bit; the hand clears bits until it finds
+// an unreferenced item.
+type clock struct {
+	items []oodb.Item
+	index map[oodb.Item]int
+	ref   map[oodb.Item]bool
+	hand  int
+}
+
+// NewClock returns the CLOCK (second chance) baseline.
+func NewClock() Policy {
+	return &clock{index: make(map[oodb.Item]int), ref: make(map[oodb.Item]bool)}
+}
+
+// NewClockFactory returns a Factory for NewClock.
+func NewClockFactory() Factory { return func() Policy { return NewClock() } }
+
+func (p *clock) Name() string { return "clock" }
+
+func (p *clock) OnInsert(it oodb.Item, now float64) {
+	if _, ok := p.index[it]; ok {
+		p.ref[it] = true
+		return
+	}
+	p.index[it] = len(p.items)
+	p.items = append(p.items, it)
+	p.ref[it] = true
+}
+
+func (p *clock) OnAccess(it oodb.Item, now float64) {
+	_, ok := p.index[it]
+	mustTracked(p.Name(), ok, it)
+	p.ref[it] = true
+}
+
+func (p *clock) Victim(now float64) (oodb.Item, bool) {
+	if len(p.items) == 0 {
+		return oodb.Item{}, false
+	}
+	for sweep := 0; sweep < 2*len(p.items)+1; sweep++ {
+		if p.hand >= len(p.items) {
+			p.hand = 0
+		}
+		it := p.items[p.hand]
+		if p.ref[it] {
+			p.ref[it] = false
+			p.hand++
+			continue
+		}
+		return it, true
+	}
+	// All bits were set and cleared twice: fall back to the hand position.
+	if p.hand >= len(p.items) {
+		p.hand = 0
+	}
+	return p.items[p.hand], true
+}
+
+func (p *clock) Victims(now float64, n int) []oodb.Item {
+	if n > len(p.items) {
+		n = len(p.items)
+	}
+	var out []oodb.Item
+	seen := make(map[oodb.Item]bool, n)
+	for len(out) < n {
+		it, ok := p.Victim(now)
+		if !ok || seen[it] {
+			break
+		}
+		seen[it] = true
+		out = append(out, it)
+		// Mark it referenced so the next sweep passes over it; callers
+		// evict (Remove) the returned items anyway, which clears state.
+		p.ref[it] = true
+		p.hand++
+	}
+	return out
+}
+
+func (p *clock) Remove(it oodb.Item) {
+	i, ok := p.index[it]
+	if !ok {
+		return
+	}
+	last := len(p.items) - 1
+	p.items[i] = p.items[last]
+	p.index[p.items[i]] = i
+	p.items = p.items[:last]
+	delete(p.index, it)
+	delete(p.ref, it)
+	if p.hand > last {
+		p.hand = 0
+	}
+}
+
+func (p *clock) Len() int { return len(p.items) }
+
+// ------------------------------------------------------------- Random ----
+
+// random evicts a uniformly random resident item.
+type random struct {
+	items []oodb.Item
+	index map[oodb.Item]int
+	rnd   *rng.Stream
+}
+
+// NewRandom returns the random-replacement baseline using the given stream.
+func NewRandom(rnd *rng.Stream) Policy {
+	if rnd == nil {
+		panic("replacement: NewRandom requires a stream")
+	}
+	return &random{index: make(map[oodb.Item]int), rnd: rnd}
+}
+
+func (p *random) Name() string { return "random" }
+
+func (p *random) OnInsert(it oodb.Item, now float64) {
+	if _, ok := p.index[it]; ok {
+		return
+	}
+	p.index[it] = len(p.items)
+	p.items = append(p.items, it)
+}
+
+func (p *random) OnAccess(it oodb.Item, now float64) {
+	_, ok := p.index[it]
+	mustTracked(p.Name(), ok, it)
+}
+
+func (p *random) Victim(now float64) (oodb.Item, bool) {
+	if len(p.items) == 0 {
+		return oodb.Item{}, false
+	}
+	return p.items[p.rnd.Intn(len(p.items))], true
+}
+
+func (p *random) Victims(now float64, n int) []oodb.Item {
+	if n > len(p.items) {
+		n = len(p.items)
+	}
+	if n <= 0 {
+		return nil
+	}
+	idx := p.rnd.Sample(len(p.items), n)
+	out := make([]oodb.Item, n)
+	for i, j := range idx {
+		out[i] = p.items[j]
+	}
+	return out
+}
+
+func (p *random) Remove(it oodb.Item) {
+	i, ok := p.index[it]
+	if !ok {
+		return
+	}
+	last := len(p.items) - 1
+	p.items[i] = p.items[last]
+	p.index[p.items[i]] = i
+	p.items = p.items[:last]
+	delete(p.index, it)
+}
+
+func (p *random) Len() int { return len(p.items) }
+
+// ---------------------------------------------------------------- MRU ----
+
+// mru evicts the item with the *newest* last access — the classical
+// most-recently-used policy from the replacement literature [5] surveys.
+// It is pessimal on recency-friendly workloads but competitive on loops,
+// making it a useful contrast on the cyclic pattern of Experiment #4.
+type mru struct {
+	core scanCore[lruState]
+}
+
+// NewMRU returns the most-recently-used policy.
+func NewMRU() Policy {
+	p := &mru{}
+	p.core = newScanCore(func(s *lruState, now float64) float64 {
+		return s.last - now // newest access == maximum badness
+	})
+	return p
+}
+
+// NewMRUFactory returns a Factory for NewMRU.
+func NewMRUFactory() Factory { return func() Policy { return NewMRU() } }
+
+func (p *mru) Name() string { return "mru" }
+
+func (p *mru) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		s.last = now
+		return
+	}
+	p.core.add(it, &lruState{last: now})
+}
+
+func (p *mru) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	s.last = now
+}
+
+func (p *mru) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *mru) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *mru) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *mru) Len() int                               { return p.core.len() }

@@ -1,0 +1,229 @@
+package replacement
+
+import (
+	"fmt"
+
+	"repro/internal/oodb"
+	"repro/internal/stats"
+)
+
+// This file implements the paper's proposed duration-score policies (§3.3):
+// Mean, Window(W) and EWMA(α). Each scores an item by a statistic over its
+// access inter-arrival durations; the victim is the item with the highest
+// *effective* mean duration, where the effective value folds in the open
+// interval since the last access (see the package comment).
+
+// ---------------------------------------------------------------- Mean ----
+
+type meanState struct {
+	n    uint64  // number of recorded durations
+	mean float64 // running mean duration
+	last float64 // last access time
+}
+
+// meanPolicy implements the paper's mean scheme: the score is the cumulative
+// mean inter-arrival duration, updated incrementally as
+// M_{n+1} = (n·M_n + d_{n+1})/(n+1), and — crucially — only on accesses.
+// An item whose accesses stop keeps its historical score ("every single
+// trace from the beginning of the access history remains in effect", §3.3),
+// which is exactly why the scheme collapses when the hot spot changes
+// (Experiment #2). Items with no recorded duration yet are scored by the
+// open interval since their only access so they remain evictable.
+type meanPolicy struct {
+	core scanCore[meanState]
+}
+
+// NewMean returns the mean replacement scheme.
+func NewMean() Policy {
+	p := &meanPolicy{}
+	p.core = newScanCore(func(s *meanState, now float64) float64 {
+		if s.n == 0 {
+			return now - s.last
+		}
+		return s.mean
+	})
+	return p
+}
+
+// NewMeanFactory returns a Factory for NewMean.
+func NewMeanFactory() Factory { return func() Policy { return NewMean() } }
+
+func (p *meanPolicy) Name() string { return "mean" }
+
+func (p *meanPolicy) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		p.record(s, now)
+		return
+	}
+	p.core.add(it, &meanState{last: now})
+}
+
+func (p *meanPolicy) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	p.record(s, now)
+}
+
+func (p *meanPolicy) record(s *meanState, now float64) {
+	d := now - s.last
+	if d < 0 {
+		d = 0
+	}
+	s.mean = (float64(s.n)*s.mean + d) / float64(s.n+1)
+	s.n++
+	s.last = now
+}
+
+func (p *meanPolicy) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *meanPolicy) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *meanPolicy) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *meanPolicy) Len() int                               { return p.core.len() }
+
+// -------------------------------------------------------------- Window ----
+
+// DefaultWindowSize is the window size used in the paper's experiments
+// (Win-10).
+const DefaultWindowSize = 10
+
+type windowState struct {
+	win  *stats.Window
+	last float64
+}
+
+// windowPolicy implements the paper's window scheme: the score is the mean
+// inter-arrival duration over the W most recent durations, computed with
+// the paper's own recurrence M' = M + (d_new − d_oldest)/W — note the fixed
+// divisor W: a partially filled window is scored as if the missing
+// durations were zero, which makes young items look hot until W accesses
+// accumulate. The open interval since the last access joins the window at
+// eviction time so abandoned items eventually age out. Storage per item is
+// O(W) — the cost §3.3 points out.
+type windowPolicy struct {
+	w    int
+	core scanCore[windowState]
+}
+
+// NewWindow returns the window scheme with the given window size.
+func NewWindow(w int) Policy {
+	if w < 1 {
+		panic("replacement: window size must be >= 1")
+	}
+	p := &windowPolicy{w: w}
+	p.core = newScanCore(func(s *windowState, now float64) float64 {
+		open := now - s.last
+		sum := s.win.Mean()*float64(s.win.Count()) + open
+		if s.win.Count() == s.win.Size() {
+			sum -= s.win.Oldest() // open interval displaces the oldest duration
+		}
+		return sum / float64(p.w)
+	})
+	return p
+}
+
+// NewWindowFactory returns a Factory for NewWindow(w).
+func NewWindowFactory(w int) Factory { return func() Policy { return NewWindow(w) } }
+
+func (p *windowPolicy) Name() string { return fmt.Sprintf("win-%d", p.w) }
+
+func (p *windowPolicy) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		p.record(s, now)
+		return
+	}
+	p.core.add(it, &windowState{win: stats.NewWindow(p.w), last: now})
+}
+
+func (p *windowPolicy) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	p.record(s, now)
+}
+
+func (p *windowPolicy) record(s *windowState, now float64) {
+	d := now - s.last
+	if d < 0 {
+		d = 0
+	}
+	s.win.Add(d)
+	s.last = now
+}
+
+func (p *windowPolicy) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *windowPolicy) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *windowPolicy) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *windowPolicy) Len() int                               { return p.core.len() }
+
+// ---------------------------------------------------------------- EWMA ----
+
+// DefaultEWMAAlpha is the paper's recommended weight (EWMA-0.5): history
+// halves on every access, mirroring LRD's "divide the reference count by 2".
+const DefaultEWMAAlpha = 0.5
+
+type ewmaState struct {
+	value float64 // current EWMA of durations
+	n     uint64
+	last  float64
+}
+
+// ewmaPolicy implements the paper's EWMA scheme: the score is the
+// exponentially weighted moving average of inter-arrival durations,
+// S ← α·S + (1−α)·d. O(1) state per item, fast adaptation — the policy the
+// paper recommends.
+type ewmaPolicy struct {
+	alpha float64
+	core  scanCore[ewmaState]
+}
+
+// NewEWMA returns the EWMA scheme with retention weight alpha in [0, 1).
+func NewEWMA(alpha float64) Policy {
+	if alpha < 0 || alpha >= 1 {
+		panic("replacement: EWMA alpha must be in [0,1)")
+	}
+	p := &ewmaPolicy{alpha: alpha}
+	p.core = newScanCore(func(s *ewmaState, now float64) float64 {
+		open := now - s.last
+		if s.n == 0 {
+			return open
+		}
+		return p.alpha*s.value + (1-p.alpha)*open
+	})
+	return p
+}
+
+// NewEWMAFactory returns a Factory for NewEWMA(alpha).
+func NewEWMAFactory(alpha float64) Factory { return func() Policy { return NewEWMA(alpha) } }
+
+func (p *ewmaPolicy) Name() string { return fmt.Sprintf("ewma-%g", p.alpha) }
+
+func (p *ewmaPolicy) OnInsert(it oodb.Item, now float64) {
+	if s, ok := p.core.get(it); ok {
+		p.record(s, now)
+		return
+	}
+	p.core.add(it, &ewmaState{last: now})
+}
+
+func (p *ewmaPolicy) OnAccess(it oodb.Item, now float64) {
+	s, ok := p.core.get(it)
+	mustTracked(p.Name(), ok, it)
+	p.record(s, now)
+}
+
+func (p *ewmaPolicy) record(s *ewmaState, now float64) {
+	d := now - s.last
+	if d < 0 {
+		d = 0
+	}
+	if s.n == 0 {
+		s.value = d
+	} else {
+		s.value = p.alpha*s.value + (1-p.alpha)*d
+	}
+	s.n++
+	s.last = now
+}
+
+func (p *ewmaPolicy) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
+func (p *ewmaPolicy) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
+func (p *ewmaPolicy) Remove(it oodb.Item)                    { p.core.remove(it) }
+func (p *ewmaPolicy) Len() int                               { return p.core.len() }

@@ -1,0 +1,52 @@
+package replacement_test
+
+import (
+	"fmt"
+
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+)
+
+// The EWMA scheme (the paper's recommendation) adapts to a hot-set change:
+// an item that stops being accessed ages out even though its historical
+// score was hot.
+func Example() {
+	p := replacement.NewEWMA(0.5)
+
+	hot := oodb.ObjectItem(1)
+	newcomer := oodb.ObjectItem(2)
+
+	// `hot` is accessed every 10s for a while...
+	p.OnInsert(hot, 0)
+	for t := 10.0; t <= 100; t += 10 {
+		p.OnAccess(hot, t)
+	}
+	// ...then the workload shifts to `newcomer`.
+	p.OnInsert(newcomer, 110)
+	for t := 120.0; t <= 200; t += 10 {
+		p.OnAccess(newcomer, t)
+	}
+
+	victim, _ := p.Victim(210)
+	fmt.Println("evict:", victim)
+	// Output:
+	// evict: obj(1)
+}
+
+// Parse builds policies from the spec strings used by the CLI and the
+// experiment configs.
+func ExampleParse() {
+	for _, spec := range []string{"lru", "lru-3", "ewma-0.5", "win-10"} {
+		factory, err := replacement.Parse(spec)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(factory().Name())
+	}
+	// Output:
+	// lru
+	// lru-3
+	// ewma-0.5
+	// win-10
+}

@@ -1,0 +1,205 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// streams for the simulation.
+//
+// The simulator needs reproducibility guarantees that are stronger than
+// "same seed, same Go version": experiment tables in EXPERIMENTS.md must be
+// regenerable byte-for-byte. We therefore implement our own generator
+// (splitmix64 for stream derivation feeding an xoshiro256** core) instead of
+// depending on math/rand internals.
+//
+// Every simulated entity (client, workload generator, update process, ...)
+// draws from its own Stream, derived from a root seed and a stream
+// identifier. Adding a new consumer of randomness therefore never perturbs
+// the draws seen by existing consumers, which keeps experiments comparable
+// across code revisions.
+package rng
+
+import "math"
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output.
+// It is used both for seeding xoshiro and for deriving substreams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**).
+// It is not safe for concurrent use; in the simulator only one process
+// runs at a time, so each entity owns its Stream exclusively.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a Stream derived from seed. Distinct seeds yield
+// statistically independent streams.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// Derive returns a new Stream keyed by (seed, id). It is the canonical way
+// to hand every simulated entity its own independent substream.
+func Derive(seed, id uint64) *Stream {
+	mix := seed
+	_ = splitmix64(&mix)
+	mix ^= id * 0xd1342543de82ef95
+	return New(splitmix64(&mix))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // bias < 2^-40 for n < 2^24; fine for simulation
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0, 1], so Log never sees zero.
+	return -math.Log(1-u) / rate
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap (Fisher–Yates).
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in selection
+// order. It panics if k > n or k < 0.
+func (r *Stream) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample with k out of range")
+	}
+	// Partial Fisher–Yates over an index table; O(n) space, O(k) swaps.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = idx[i]
+	}
+	return out
+}
+
+// Discrete draws an index from the categorical distribution defined by
+// weights (need not be normalized). It panics if weights is empty or the
+// total weight is not positive.
+type Discrete struct {
+	cum []float64
+}
+
+// NewDiscrete precomputes the cumulative distribution for weights.
+func NewDiscrete(weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("rng: NewDiscrete with no weights")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: NewDiscrete with negative weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("rng: NewDiscrete with zero total weight")
+	}
+	return &Discrete{cum: cum}
+}
+
+// Draw samples an index according to the precomputed weights.
+func (d *Discrete) Draw(r *Stream) int {
+	u := r.Float64() * d.cum[len(d.cum)-1]
+	// Binary search for the first cumulative weight exceeding u.
+	lo, hi := 0, len(d.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ZipfWeights returns weights[i] proportional to 1/(i+1)^theta for n ranks.
+// It is used for the paper's "uniform skewed" attribute distribution: every
+// attribute keeps a non-zero access probability while lower ranks dominate.
+func ZipfWeights(n int, theta float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), theta)
+	}
+	return w
+}

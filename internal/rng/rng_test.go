@@ -1,0 +1,321 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(7, 0)
+	b := Derive(7, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived substreams 0 and 1 coincide on first draw")
+	}
+	c := Derive(7, 0)
+	c2 := Derive(7, 0)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != c2.Uint64() {
+			t.Fatal("Derive is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(10) value %d count %d, want ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11)
+	const rate = 0.01
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("Exp mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for n := 0; n < 50; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make(map[int]bool)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid element %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(19)
+	s := r.Sample(100, 20)
+	if len(s) != 20 {
+		t.Fatalf("Sample length %d", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, v := range s {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Sample invalid element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestSampleFull(t *testing.T) {
+	r := New(23)
+	s := r.Sample(10, 10)
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Sample(10,10) is not a permutation: %v", s)
+	}
+}
+
+func TestDiscreteDraw(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2, 1})
+	r := New(29)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[d.Draw(r)]++
+	}
+	for i, want := range []float64{0.25, 0.5, 0.25} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Discrete index %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestDiscreteZeroWeight(t *testing.T) {
+	d := NewDiscrete([]float64{0, 1, 0})
+	r := New(31)
+	for i := 0; i < 1000; i++ {
+		if v := d.Draw(r); v != 1 {
+			t.Fatalf("Discrete drew zero-weight index %d", v)
+		}
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDiscrete(%v) did not panic", w)
+				}
+			}()
+			NewDiscrete(w)
+		}()
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(9, 1)
+	if len(w) != 9 {
+		t.Fatalf("len %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("ZipfWeights not decreasing at %d: %v >= %v", i, w[i], w[i-1])
+		}
+		if w[i] <= 0 {
+			t.Fatalf("ZipfWeights non-positive at %d", i)
+		}
+	}
+	if w[0] != 1 {
+		t.Fatalf("first weight %v, want 1", w[0])
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	w := ZipfWeights(5, 0)
+	for _, v := range w {
+		if v != 1 {
+			t.Fatalf("theta=0 weight %v, want 1", v)
+		}
+	}
+}
+
+// Property: Intn is always within range for any positive n and seed.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(nn)
+			if v < 0 || v >= nn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sample always returns k distinct in-range values.
+func TestQuickSampleDistinct(t *testing.T) {
+	f := func(seed uint64, n, k uint8) bool {
+		nn := int(n)%200 + 1
+		kk := int(k) % (nn + 1)
+		s := New(seed).Sample(nn, kk)
+		if len(s) != kk {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: derived streams are reproducible.
+func TestQuickDeriveDeterministic(t *testing.T) {
+	f := func(seed, id uint64) bool {
+		a := Derive(seed, id)
+		b := Derive(seed, id)
+		for i := 0; i < 5; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+// Package server implements the OODB database server of §4: query
+// evaluation against the object store through an LRU memory buffer and a
+// fast-SCSI disk, application of update operations (probability U per
+// accessed object), maintenance of per-item write histories for the
+// refresh-time estimator, attribute-heat tracking for hybrid caching's
+// prefetch decision, and reply assembly per caching granularity.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buffer"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Defaults from §4 / Table 1.
+const (
+	// DefaultBufferObjects is the server memory buffer: 25% of the
+	// database, i.e. 500 objects.
+	DefaultBufferObjects = 500
+	// DefaultPrefetchKappa places the HC prefetch threshold at
+	// c = μ + κ·σ over per-attribute access rates. The paper states
+	// κ = −2; for any realistically skewed rate distribution that cutoff
+	// is non-positive, which would degrade HC into OC, so the default here
+	// is κ = 0 ("prefetch attributes at least as popular as the average")
+	// — see DESIGN.md. κ is configurable, and the ablation benchmark
+	// sweeps it (including the paper's −2).
+	DefaultPrefetchKappa = 0.0
+	// prefetchMinSamples is how many attribute accesses the server wants
+	// from a client before trusting its heat profile for prefetching.
+	prefetchMinSamples = 100
+)
+
+// Config parameterizes the server.
+type Config struct {
+	Kernel *sim.Kernel
+	DB     *oodb.Database
+	// BufferObjects is the LRU memory buffer capacity in objects
+	// (DefaultBufferObjects if zero).
+	BufferObjects int
+	// Beta is the coherence staleness-tolerance knob for refresh times.
+	Beta float64
+	// UpdateProb is U: the probability that an object accessed by a query
+	// is updated at the server during that query's processing.
+	UpdateProb float64
+	// PrefetchKappa positions the HC prefetch threshold at μ + κ·σ.
+	// NaN selects DefaultPrefetchKappa; -inf prefetches everything.
+	PrefetchKappa float64
+	// Seed drives the update coin flips.
+	Seed uint64
+	// DiskBandwidthBps / MemoryBandwidthBps override the paper's 40 Mbps
+	// and 100 Mbps when non-zero.
+	DiskBandwidthBps   float64
+	MemoryBandwidthBps float64
+}
+
+// Request is a client query as seen by the server. Wire size is computed
+// from ExistentEntries (the existent list, §3.1.2); the remaining fields
+// are simulation-level knowledge the real server would derive by
+// evaluating the query itself.
+type Request struct {
+	ClientID    int
+	Granularity core.Granularity
+	// Accesses is the query's full read set (for the update model: every
+	// accessed object is updated with probability U).
+	Accesses []workload.ReadOp
+	// Need is the subset of reads the client could not satisfy locally.
+	Need []workload.ReadOp
+	// ExistentEntries counts the (oid, attr) pairs the client reported as
+	// locally satisfied.
+	ExistentEntries int
+}
+
+// WireSize returns the upstream message size in bytes.
+func (r Request) WireSize() int { return network.RequestSize(r.ExistentEntries) }
+
+// ReplyItem is one item shipped back to the client.
+type ReplyItem struct {
+	Item oodb.Item
+	// Version is the server-side version at send time (error oracle).
+	Version uint64
+	// Refresh is the refresh-time estimate shipped with the item (§3.2);
+	// the client starts the lease when it caches the copy.
+	Refresh float64
+	// Prefetched marks items the client did not ask for (HC and OC extra
+	// attributes beyond the request).
+	Prefetched bool
+}
+
+// Reply is the downstream result message.
+type Reply struct {
+	Items []ReplyItem
+}
+
+// WireSize returns the downstream message size in bytes.
+func (r Reply) WireSize() int { return WireSizeItems(r.Items) }
+
+// WireSizeItems returns the downstream wire size of a reply carrying the
+// given items (used by the timeout heuristic after shedding).
+func WireSizeItems(items []ReplyItem) int {
+	raw := make([]oodb.Item, len(items))
+	for i, it := range items {
+		raw[i] = it.Item
+	}
+	return network.ReplySize(raw)
+}
+
+// Server is the database server simulation entity.
+type Server struct {
+	kernel *sim.Kernel
+	db     *oodb.Database
+	buf    *buffer.LRU[oodb.OID, struct{}]
+	disk   *sim.Resource
+
+	diskSecPerObject float64
+	memSecPerObject  float64
+
+	refreshObj  *coherence.RefreshEstimator // whole-object write streams
+	refreshAttr *coherence.RefreshEstimator // per-attribute write streams
+	oracle      *coherence.Oracle
+
+	updateProb    float64
+	updateRnd     *rng.Stream
+	prefetchKappa float64
+
+	heat map[int]*clientHeat // per-client attribute access profile
+
+	queriesServed  uint64
+	diskReads      uint64
+	bufferHits     uint64
+	updatesApplied uint64
+}
+
+// clientHeat tracks one client's primitive-attribute access counts, from
+// which the HC prefetch set is derived.
+type clientHeat struct {
+	counts [oodb.NumPrimAttrs]uint64
+	total  uint64
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	if cfg.Kernel == nil || cfg.DB == nil {
+		panic("server: Config requires Kernel and DB")
+	}
+	bufObjs := cfg.BufferObjects
+	if bufObjs <= 0 {
+		bufObjs = DefaultBufferObjects
+	}
+	diskBps := cfg.DiskBandwidthBps
+	if diskBps == 0 {
+		diskBps = network.DiskBandwidthBps
+	}
+	memBps := cfg.MemoryBandwidthBps
+	if memBps == 0 {
+		memBps = network.MemoryBandwidthBps
+	}
+	kappa := cfg.PrefetchKappa
+	if math.IsNaN(kappa) {
+		kappa = DefaultPrefetchKappa
+	}
+	if cfg.UpdateProb < 0 || cfg.UpdateProb > 1 {
+		panic(fmt.Sprintf("server: UpdateProb %v out of [0,1]", cfg.UpdateProb))
+	}
+	return &Server{
+		kernel:           cfg.Kernel,
+		db:               cfg.DB,
+		buf:              buffer.NewLRU[oodb.OID, struct{}](bufObjs),
+		disk:             sim.NewResource(cfg.Kernel, "server-disk", 1),
+		diskSecPerObject: float64(oodb.ObjectSize) * 8 / diskBps,
+		memSecPerObject:  float64(oodb.ObjectSize) * 8 / memBps,
+		refreshObj:       coherence.NewRefreshEstimator(cfg.Beta),
+		refreshAttr:      coherence.NewRefreshEstimator(cfg.Beta),
+		oracle:           coherence.NewOracle(cfg.DB),
+		updateProb:       cfg.UpdateProb,
+		updateRnd:        rng.Derive(cfg.Seed, 0x5e7e7),
+		prefetchKappa:    kappa,
+		heat:             make(map[int]*clientHeat),
+	}
+}
+
+// Oracle exposes the perfect-knowledge error oracle shared with clients.
+func (s *Server) Oracle() *coherence.Oracle { return s.oracle }
+
+// DB exposes the underlying database (read-only use by the harness).
+func (s *Server) DB() *oodb.Database { return s.db }
+
+// Process evaluates one request inside process p: stage the needed objects
+// through buffer/disk, apply the update model, and assemble the reply.
+// Transfer of request and reply over the wireless channels is the caller's
+// (client's) responsibility, matching the paper's point-to-point flow.
+func (s *Server) Process(p *sim.Proc, req Request) Reply {
+	if !req.Granularity.Valid() {
+		panic("server: request with invalid granularity")
+	}
+	s.queriesServed++
+	s.recordHeat(req)
+
+	// Stage every object the query evaluates over. The server must read
+	// each qualified object to evaluate predicates and project attributes,
+	// whether or not the client ended up needing it shipped.
+	for _, oid := range distinctOIDs(req.Accesses) {
+		s.stageObject(p, oid)
+	}
+
+	// Update model (§4, sixth dimension): each object accessed by the
+	// query is updated with probability U; all attributes the query
+	// selected on that object are modified.
+	s.applyUpdates(p, req)
+
+	return s.assembleReply(req)
+}
+
+// stageObject brings oid into the memory buffer, paying disk or memory
+// time.
+func (s *Server) stageObject(p *sim.Proc, oid oodb.OID) {
+	if _, hit := s.buf.Get(oid); hit {
+		s.bufferHits++
+		p.Hold(s.memSecPerObject)
+		return
+	}
+	s.diskReads++
+	s.disk.Use(p, s.diskSecPerObject)
+	s.buf.Put(oid, struct{}{})
+}
+
+// applyUpdates flips the per-object update coin and applies writes.
+func (s *Server) applyUpdates(p *sim.Proc, req Request) {
+	if s.updateProb == 0 {
+		return
+	}
+	byObject := make(map[oodb.OID][]oodb.AttrID)
+	order := distinctOIDs(req.Accesses)
+	for _, rd := range req.Accesses {
+		byObject[rd.OID] = append(byObject[rd.OID], rd.Attr)
+	}
+	now := p.Now()
+	for _, oid := range order {
+		if !s.updateRnd.Bool(s.updateProb) {
+			continue
+		}
+		s.updatesApplied++
+		seen := make(map[oodb.AttrID]bool)
+		for _, attr := range byObject[oid] {
+			if seen[attr] {
+				continue
+			}
+			seen[attr] = true
+			s.db.Write(oid, attr)
+			s.refreshAttr.ObserveWrite(oodb.AttrItem(oid, attr), now)
+		}
+		s.refreshObj.ObserveWrite(oodb.ObjectItem(oid), now)
+	}
+}
+
+// assembleReply builds the downstream items per granularity (§3.1.2–3.1.4).
+func (s *Server) assembleReply(req Request) Reply {
+	now := s.kernel.Now()
+	var items []ReplyItem
+
+	switch req.Granularity {
+	case core.AttributeCaching:
+		// AC: only the requested attributes of qualified objects.
+		for _, rd := range req.Need {
+			items = append(items, s.attrReplyItem(rd.OID, rd.Attr, now, false))
+		}
+
+	case core.ObjectCaching, core.NoCache:
+		// OC: push all attributes of each qualified object — shipped as
+		// whole objects. NC ships the same way (a conventional object
+		// server); the client just has nowhere durable to cache them.
+		for _, oid := range distinctOIDs(req.Need) {
+			items = append(items, ReplyItem{
+				Item:    oodb.ObjectItem(oid),
+				Version: s.db.ObjectVersion(oid),
+				Refresh: s.refreshObj.RefreshTime(oodb.ObjectItem(oid), now),
+			})
+		}
+
+	case core.HybridCaching:
+		// HC: requested attributes plus the prefetch set — attributes of
+		// qualified objects whose access probability clears the threshold.
+		prefetch := s.prefetchSet(req.ClientID)
+		shipped := make(map[oodb.Item]bool)
+		for _, rd := range req.Need {
+			it := oodb.AttrItem(rd.OID, rd.Attr)
+			if shipped[it] {
+				continue
+			}
+			shipped[it] = true
+			items = append(items, s.attrReplyItem(rd.OID, rd.Attr, now, false))
+		}
+		for _, oid := range distinctOIDs(req.Need) {
+			for _, attr := range prefetch {
+				it := oodb.AttrItem(oid, attr)
+				if shipped[it] {
+					continue
+				}
+				shipped[it] = true
+				items = append(items, s.attrReplyItem(oid, attr, now, true))
+			}
+		}
+	}
+	return Reply{Items: items}
+}
+
+func (s *Server) attrReplyItem(oid oodb.OID, attr oodb.AttrID, now float64, prefetched bool) ReplyItem {
+	it := oodb.AttrItem(oid, attr)
+	return ReplyItem{
+		Item:       it,
+		Version:    s.db.AttrVersion(oid, attr),
+		Refresh:    s.refreshAttr.RefreshTime(it, now),
+		Prefetched: prefetched,
+	}
+}
+
+// recordHeat folds the query's attribute accesses into the client's heat
+// profile.
+func (s *Server) recordHeat(req Request) {
+	h := s.heat[req.ClientID]
+	if h == nil {
+		h = &clientHeat{}
+		s.heat[req.ClientID] = h
+	}
+	for _, rd := range req.Accesses {
+		if rd.Attr < oodb.NumPrimAttrs {
+			h.counts[rd.Attr]++
+			h.total++
+		}
+	}
+}
+
+// prefetchSet returns the attributes worth prefetching for the client:
+// those whose observed access rate is at least μ + κ·σ across the client's
+// attribute rates. With no (or too little) history the set is empty — HC
+// degenerates gracefully to AC until the profile stabilizes.
+func (s *Server) prefetchSet(clientID int) []oodb.AttrID {
+	h := s.heat[clientID]
+	if h == nil || h.total < prefetchMinSamples {
+		return nil
+	}
+	var mu float64
+	rates := make([]float64, oodb.NumPrimAttrs)
+	for i, c := range h.counts {
+		rates[i] = float64(c) / float64(h.total)
+		mu += rates[i]
+	}
+	mu /= oodb.NumPrimAttrs
+	var variance float64
+	for _, r := range rates {
+		variance += (r - mu) * (r - mu)
+	}
+	variance /= oodb.NumPrimAttrs
+	threshold := mu + s.prefetchKappa*math.Sqrt(variance)
+	var out []oodb.AttrID
+	for i, r := range rates {
+		if r >= threshold {
+			out = append(out, oodb.AttrID(i))
+		}
+	}
+	return out
+}
+
+// PrefetchSet exposes the current prefetch decision for a client
+// (diagnostics and tests).
+func (s *Server) PrefetchSet(clientID int) []oodb.AttrID { return s.prefetchSet(clientID) }
+
+// distinctOIDs returns the distinct OIDs in reads, preserving first-seen
+// order (determinism for update application and reply layout).
+func distinctOIDs(reads []workload.ReadOp) []oodb.OID {
+	seen := make(map[oodb.OID]bool, len(reads))
+	var out []oodb.OID
+	for _, rd := range reads {
+		if !seen[rd.OID] {
+			seen[rd.OID] = true
+			out = append(out, rd.OID)
+		}
+	}
+	return out
+}
+
+// Stats bundles server-side counters for experiment logs.
+type Stats struct {
+	QueriesServed   uint64
+	DiskReads       uint64
+	BufferHits      uint64
+	UpdatesApplied  uint64
+	BufferHitRatio  float64
+	DiskUtilization float64
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		QueriesServed:   s.queriesServed,
+		DiskReads:       s.diskReads,
+		BufferHits:      s.bufferHits,
+		UpdatesApplied:  s.updatesApplied,
+		BufferHitRatio:  s.buf.HitRatio(),
+		DiskUtilization: s.disk.Utilization(),
+	}
+}

@@ -1,0 +1,471 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oodb"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*sim.Kernel, *Server) {
+	t.Helper()
+	k := sim.NewKernel()
+	if cfg.Kernel == nil {
+		cfg.Kernel = k
+	}
+	if cfg.DB == nil {
+		cfg.DB = oodb.New(oodb.Config{NumObjects: 100, RelSeed: 1})
+	}
+	if math.IsNaN(cfg.PrefetchKappa) {
+		// keep caller's NaN
+	} else if cfg.PrefetchKappa == 0 {
+		cfg.PrefetchKappa = math.NaN() // default
+	}
+	return cfg.Kernel, New(cfg)
+}
+
+// run executes fn inside a simulation process and returns after RunAll.
+func run(k *sim.Kernel, fn func(p *sim.Proc)) {
+	k.Spawn("test", fn)
+	k.RunAll()
+}
+
+func reads(oids ...int) []workload.ReadOp {
+	var out []workload.ReadOp
+	for _, oid := range oids {
+		out = append(out, workload.ReadOp{OID: oodb.OID(oid), Attr: 0})
+	}
+	return out
+}
+
+func TestACReplyOnlyNeededAttrs(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var reply Reply
+	run(k, func(p *sim.Proc) {
+		reply = s.Process(p, Request{
+			ClientID:    1,
+			Granularity: core.AttributeCaching,
+			Accesses: []workload.ReadOp{
+				{OID: 1, Attr: 0}, {OID: 1, Attr: 1}, {OID: 2, Attr: 3},
+			},
+			Need: []workload.ReadOp{{OID: 2, Attr: 3}},
+		})
+	})
+	if len(reply.Items) != 1 {
+		t.Fatalf("reply has %d items, want 1", len(reply.Items))
+	}
+	it := reply.Items[0]
+	if it.Item != oodb.AttrItem(2, 3) || it.Prefetched {
+		t.Fatalf("reply item %+v", it)
+	}
+}
+
+func TestOCReplyWholeObjects(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var reply Reply
+	run(k, func(p *sim.Proc) {
+		reply = s.Process(p, Request{
+			ClientID:    1,
+			Granularity: core.ObjectCaching,
+			Accesses: []workload.ReadOp{
+				{OID: 1, Attr: 0}, {OID: 1, Attr: 5}, {OID: 2, Attr: 1},
+			},
+			Need: []workload.ReadOp{
+				{OID: 1, Attr: 0}, {OID: 1, Attr: 5}, {OID: 2, Attr: 1},
+			},
+		})
+	})
+	if len(reply.Items) != 2 {
+		t.Fatalf("reply has %d items, want 2 distinct objects", len(reply.Items))
+	}
+	for _, it := range reply.Items {
+		if !it.Item.IsObject() {
+			t.Fatalf("OC reply shipped non-object %v", it.Item)
+		}
+	}
+}
+
+func TestOCReplyBiggerThanAC(t *testing.T) {
+	need := []workload.ReadOp{{OID: 1, Attr: 0}, {OID: 1, Attr: 1}}
+	var acSize, ocSize int
+	{
+		k, s := newTestServer(t, Config{})
+		run(k, func(p *sim.Proc) {
+			acSize = s.Process(p, Request{Granularity: core.AttributeCaching,
+				Accesses: need, Need: need}).WireSize()
+		})
+	}
+	{
+		k, s := newTestServer(t, Config{})
+		run(k, func(p *sim.Proc) {
+			ocSize = s.Process(p, Request{Granularity: core.ObjectCaching,
+				Accesses: need, Need: need}).WireSize()
+		})
+	}
+	if ocSize <= acSize {
+		t.Fatalf("OC reply %dB <= AC reply %dB", ocSize, acSize)
+	}
+}
+
+func TestEmptyNeedEmptyReply(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var reply Reply
+	run(k, func(p *sim.Proc) {
+		reply = s.Process(p, Request{
+			Granularity: core.AttributeCaching,
+			Accesses:    reads(1, 2),
+		})
+	})
+	if len(reply.Items) != 0 {
+		t.Fatalf("reply items %v, want none", reply.Items)
+	}
+}
+
+func TestUpdatesApplied(t *testing.T) {
+	db := oodb.New(oodb.Config{NumObjects: 50})
+	k, s := newTestServer(t, Config{DB: db, UpdateProb: 1, Seed: 3})
+	run(k, func(p *sim.Proc) {
+		s.Process(p, Request{
+			Granularity: core.AttributeCaching,
+			Accesses: []workload.ReadOp{
+				{OID: 7, Attr: 2}, {OID: 7, Attr: 4}, {OID: 9, Attr: 1},
+			},
+			Need: []workload.ReadOp{{OID: 7, Attr: 2}},
+		})
+	})
+	if db.AttrVersion(7, 2) != 1 || db.AttrVersion(7, 4) != 1 {
+		t.Fatal("accessed attributes not updated with U=1")
+	}
+	if db.AttrVersion(7, 0) != 0 {
+		t.Fatal("unaccessed attribute was updated")
+	}
+	if db.AttrVersion(9, 1) != 1 {
+		t.Fatal("second object not updated")
+	}
+	if s.Stats().UpdatesApplied != 2 {
+		t.Fatalf("UpdatesApplied = %d, want 2", s.Stats().UpdatesApplied)
+	}
+}
+
+func TestNoUpdatesWhenProbZero(t *testing.T) {
+	db := oodb.New(oodb.Config{NumObjects: 50})
+	k, s := newTestServer(t, Config{DB: db, UpdateProb: 0})
+	run(k, func(p *sim.Proc) {
+		s.Process(p, Request{
+			Granularity: core.AttributeCaching,
+			Accesses:    reads(1, 2, 3),
+			Need:        reads(1),
+		})
+	})
+	if db.TotalWrites() != 0 {
+		t.Fatalf("writes applied with U=0: %d", db.TotalWrites())
+	}
+}
+
+func TestRefreshTimesShippedWithWrites(t *testing.T) {
+	db := oodb.New(oodb.Config{NumObjects: 50})
+	k, s := newTestServer(t, Config{DB: db, UpdateProb: 1, Seed: 1, Beta: 0})
+	var last Reply
+	run(k, func(p *sim.Proc) {
+		// Repeated queries on the same attr create a write stream; later
+		// replies must carry finite expiry.
+		for i := 0; i < 5; i++ {
+			last = s.Process(p, Request{
+				Granularity: core.AttributeCaching,
+				Accesses:    []workload.ReadOp{{OID: 3, Attr: 1}},
+				Need:        []workload.ReadOp{{OID: 3, Attr: 1}},
+			})
+			p.Hold(100)
+		}
+	})
+	if len(last.Items) != 1 {
+		t.Fatalf("items %v", last.Items)
+	}
+	// Inter-write gap is ~100s; the shipped refresh estimate must be in
+	// that neighbourhood once history exists.
+	if rt := last.Items[0].Refresh; rt < 50 || rt > 500 {
+		t.Fatalf("shipped refresh time %v, want ~100s", rt)
+	}
+	if last.Items[0].Version != db.AttrVersion(3, 1) {
+		t.Fatal("reply version stale")
+	}
+}
+
+func TestBufferAndDiskAccounting(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	run(k, func(p *sim.Proc) {
+		req := Request{
+			Granularity: core.AttributeCaching,
+			Accesses:    reads(1, 2),
+			Need:        reads(1, 2),
+		}
+		s.Process(p, req)
+		s.Process(p, req) // same objects: buffer hits
+	})
+	st := s.Stats()
+	if st.DiskReads != 2 {
+		t.Fatalf("DiskReads = %d, want 2", st.DiskReads)
+	}
+	if st.BufferHits != 2 {
+		t.Fatalf("BufferHits = %d, want 2", st.BufferHits)
+	}
+	if st.QueriesServed != 2 {
+		t.Fatalf("QueriesServed = %d", st.QueriesServed)
+	}
+}
+
+func TestDiskTimeCharged(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var elapsed float64
+	run(k, func(p *sim.Proc) {
+		start := p.Now()
+		s.Process(p, Request{
+			Granularity: core.AttributeCaching,
+			Accesses:    reads(1),
+			Need:        reads(1),
+		})
+		elapsed = p.Now() - start
+	})
+	want := float64(oodb.ObjectSize) * 8 / 40e6
+	if math.Abs(elapsed-want) > 1e-12 {
+		t.Fatalf("elapsed %v, want %v (one disk read)", elapsed, want)
+	}
+}
+
+func TestHCPrefetchColdStart(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var reply Reply
+	run(k, func(p *sim.Proc) {
+		reply = s.Process(p, Request{
+			ClientID:    1,
+			Granularity: core.HybridCaching,
+			Accesses:    []workload.ReadOp{{OID: 1, Attr: 0}},
+			Need:        []workload.ReadOp{{OID: 1, Attr: 0}},
+		})
+	})
+	// Below prefetchMinSamples the prefetch set is empty: HC behaves as AC.
+	if len(reply.Items) != 1 || reply.Items[0].Prefetched {
+		t.Fatalf("cold-start HC reply %+v", reply.Items)
+	}
+}
+
+func TestHCPrefetchAfterWarmup(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var reply Reply
+	run(k, func(p *sim.Proc) {
+		// Warm the heat profile: client 1 hammers attributes 0 and 1.
+		warm := Request{
+			ClientID:    1,
+			Granularity: core.HybridCaching,
+			Accesses: []workload.ReadOp{
+				{OID: 1, Attr: 0}, {OID: 2, Attr: 0}, {OID: 3, Attr: 1},
+			},
+		}
+		for i := 0; i < 60; i++ {
+			s.Process(p, warm)
+		}
+		reply = s.Process(p, Request{
+			ClientID:    1,
+			Granularity: core.HybridCaching,
+			Accesses:    []workload.ReadOp{{OID: 9, Attr: 0}},
+			Need:        []workload.ReadOp{{OID: 9, Attr: 0}},
+		})
+	})
+	set := s.PrefetchSet(1)
+	if len(set) == 0 {
+		t.Fatal("prefetch set empty after warmup")
+	}
+	for _, a := range set {
+		if a != 0 && a != 1 {
+			t.Fatalf("prefetch set contains cold attribute %d", a)
+		}
+	}
+	// The reply must include prefetched hot attributes of object 9 beyond
+	// the requested one, flagged as prefetched, with no duplicates.
+	seen := map[oodb.Item]bool{}
+	prefetched := 0
+	for _, it := range reply.Items {
+		if seen[it.Item] {
+			t.Fatalf("duplicate reply item %v", it.Item)
+		}
+		seen[it.Item] = true
+		if it.Prefetched {
+			prefetched++
+		}
+	}
+	if got := len(reply.Items) - prefetched; got != 1 {
+		t.Fatalf("requested items in reply = %d, want 1", got)
+	}
+	if prefetched != len(set)-1 && prefetched != len(set) {
+		t.Fatalf("prefetched %d items, prefetch set %d", prefetched, len(set))
+	}
+}
+
+func TestHCKappaControlsPrefetchBreadth(t *testing.T) {
+	warm := func(s *Server, k *sim.Kernel) {
+		run(k, func(p *sim.Proc) {
+			// Skewed profile: attr0 80%, attr1 20%.
+			var acc []workload.ReadOp
+			for i := 0; i < 80; i++ {
+				acc = append(acc, workload.ReadOp{OID: oodb.OID(i % 20), Attr: 0})
+			}
+			for i := 0; i < 20; i++ {
+				acc = append(acc, workload.ReadOp{OID: oodb.OID(i % 20), Attr: 1})
+			}
+			s.Process(p, Request{ClientID: 1, Granularity: core.HybridCaching, Accesses: acc})
+		})
+	}
+	kLow, sLow := newTestServer(t, Config{PrefetchKappa: -2})
+	warm(sLow, kLow)
+	kHigh, sHigh := newTestServer(t, Config{PrefetchKappa: 2})
+	warm(sHigh, kHigh)
+	low := len(sLow.PrefetchSet(1))
+	high := len(sHigh.PrefetchSet(1))
+	if low <= high {
+		t.Fatalf("kappa=-2 prefetches %d attrs, kappa=+2 prefetches %d; want low > high", low, high)
+	}
+	if low != oodb.NumPrimAttrs {
+		t.Fatalf("kappa=-2 (the paper's setting) should prefetch all attrs, got %d", low)
+	}
+}
+
+func TestHeatIsolatedPerClient(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	run(k, func(p *sim.Proc) {
+		var acc []workload.ReadOp
+		for i := 0; i < 200; i++ {
+			acc = append(acc, workload.ReadOp{OID: 1, Attr: 0})
+		}
+		s.Process(p, Request{ClientID: 1, Granularity: core.HybridCaching, Accesses: acc})
+	})
+	if set := s.PrefetchSet(2); set != nil {
+		t.Fatalf("client 2 inherited client 1's heat: %v", set)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(Config{}) },
+		func() { New(Config{Kernel: sim.NewKernel()}) },
+		func() {
+			New(Config{Kernel: sim.NewKernel(),
+				DB: oodb.New(oodb.Config{NumObjects: 10}), UpdateProb: 2})
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	k := sim.NewKernel()
+	s := New(Config{Kernel: k, DB: oodb.New(oodb.Config{NumObjects: 10})})
+	k.Spawn("bad", func(p *sim.Proc) {
+		panicked := false
+		func() {
+			defer func() { panicked = recover() != nil }()
+			s.Process(p, Request{Granularity: core.Granularity(42)})
+		}()
+		if !panicked {
+			t.Error("invalid granularity did not panic")
+		}
+	})
+	k.RunAll()
+}
+
+func TestRequestWireSize(t *testing.T) {
+	req := Request{ExistentEntries: 3}
+	if req.WireSize() != 11+16+3*5 {
+		t.Fatalf("WireSize = %d", req.WireSize())
+	}
+}
+
+func TestNCReplyShipsWholeObjects(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	var reply Reply
+	run(k, func(p *sim.Proc) {
+		reply = s.Process(p, Request{
+			Granularity: core.NoCache,
+			Accesses:    reads(1, 2),
+			Need:        reads(1, 2),
+		})
+	})
+	if len(reply.Items) != 2 {
+		t.Fatalf("%d items", len(reply.Items))
+	}
+	for _, it := range reply.Items {
+		if !it.Item.IsObject() {
+			t.Fatalf("NC reply shipped %v", it.Item)
+		}
+	}
+}
+
+func TestHeatIgnoresRelationshipAttrs(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	run(k, func(p *sim.Proc) {
+		var acc []workload.ReadOp
+		for i := 0; i < 200; i++ {
+			// Relationship slots (>= NumPrimAttrs) must not pollute the
+			// prefetch profile.
+			acc = append(acc, workload.ReadOp{OID: 1, Attr: oodb.NumPrimAttrs})
+			acc = append(acc, workload.ReadOp{OID: 1, Attr: 0})
+		}
+		s.Process(p, Request{ClientID: 1, Granularity: core.HybridCaching, Accesses: acc})
+	})
+	for _, a := range s.PrefetchSet(1) {
+		if a >= oodb.NumPrimAttrs {
+			t.Fatalf("prefetch set contains relationship attr %d", a)
+		}
+	}
+	if len(s.PrefetchSet(1)) == 0 {
+		t.Fatal("prefetch set empty despite 200 primitive accesses")
+	}
+}
+
+func TestPrefetchMinSamplesBoundary(t *testing.T) {
+	k, s := newTestServer(t, Config{})
+	run(k, func(p *sim.Proc) {
+		acc := make([]workload.ReadOp, prefetchMinSamples-1)
+		for i := range acc {
+			acc[i] = workload.ReadOp{OID: oodb.OID(i % 50), Attr: 0}
+		}
+		s.Process(p, Request{ClientID: 1, Granularity: core.HybridCaching, Accesses: acc})
+	})
+	if set := s.PrefetchSet(1); set != nil {
+		t.Fatalf("prefetch active below min samples: %v", set)
+	}
+	run(k, func(p *sim.Proc) {
+		s.Process(p, Request{ClientID: 1, Granularity: core.HybridCaching,
+			Accesses: []workload.ReadOp{{OID: 1, Attr: 0}}})
+	})
+	if set := s.PrefetchSet(1); len(set) == 0 {
+		t.Fatal("prefetch still inactive at min samples")
+	}
+}
+
+func TestUpdateDeterminism(t *testing.T) {
+	// Same seed, same request stream: identical updates.
+	runOnce := func() uint64 {
+		db := oodb.New(oodb.Config{NumObjects: 50})
+		k, s := newTestServer(t, Config{DB: db, UpdateProb: 0.5, Seed: 42})
+		run(k, func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				s.Process(p, Request{
+					Granularity: core.AttributeCaching,
+					Accesses:    reads(i%7, (i+1)%7),
+				})
+			}
+		})
+		return db.TotalWrites()
+	}
+	if a, b := runOnce(), runOnce(); a != b || a == 0 {
+		t.Fatalf("updates not deterministic: %d vs %d", a, b)
+	}
+}

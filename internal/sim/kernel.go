@@ -1,0 +1,192 @@
+// Package sim is a process-oriented discrete-event simulation kernel.
+//
+// It is the substitute for CSIM, the proprietary simulation library the
+// paper's evaluation is built on. The modelling primitives mirror CSIM's:
+//
+//   - a Kernel owns the virtual clock and the future event list;
+//   - a Proc is a simulated process (one goroutine) that advances virtual
+//     time with Hold and contends for facilities with Resource;
+//   - a Resource is a FCFS facility (wireless channel, disk arm, ...) with
+//     fixed capacity, utilization accounting, and queue statistics.
+//
+// Determinism: although each process is a goroutine, exactly one goroutine
+// runs at any instant — the kernel resumes a process and then blocks until
+// that process yields (by holding, queueing on a resource, or terminating).
+// Events at equal timestamps are dispatched in schedule order. Simulations
+// are therefore exactly reproducible for a given seed, which the tests and
+// EXPERIMENTS.md rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a future-event-list entry: either "resume proc" or "call fn".
+type event struct {
+	at   float64
+	seq  uint64 // schedule order; ties broken FIFO
+	proc *Proc
+	fn   func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel drives a single simulation run. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	live   map[*Proc]struct{}
+	nsteps uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty event list.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Steps returns the number of events dispatched so far. It is exposed for
+// kernel benchmarks and runaway-simulation guards in tests.
+func (k *Kernel) Steps() uint64 { return k.nsteps }
+
+// schedule appends an event to the future event list.
+func (k *Kernel) schedule(at float64, p *Proc, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (at=%g, now=%g)", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, proc: p, fn: fn})
+}
+
+// After schedules fn to run at now+d in kernel context. fn must not block;
+// it is intended for lightweight timers (statistics sampling, LRD aging).
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, nil, fn)
+}
+
+// At schedules fn to run at absolute time t (clamped to now) in kernel
+// context. fn must not block.
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.schedule(t, nil, fn)
+}
+
+// Spawn creates a process that starts at the current virtual time.
+// The body runs in its own goroutine but under the kernel's one-runnable
+// discipline; it may call Hold, Acquire, and friends.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, body)
+}
+
+// SpawnAt creates a process that starts at virtual time t (clamped to now).
+func (k *Kernel) SpawnAt(t float64, name string, body func(*Proc)) *Proc {
+	if body == nil {
+		panic("sim: SpawnAt with nil body")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	p := &Proc{
+		kernel: k,
+		name:   name,
+		body:   body,
+		resume: make(chan struct{}),
+	}
+	k.live[p] = struct{}{}
+	k.schedule(t, p, nil)
+	return p
+}
+
+// Run dispatches events until the event list is empty or the clock would
+// pass `until`. It returns the final clock value. Processes still blocked
+// when Run returns remain suspended; call Drain to terminate them.
+func (k *Kernel) Run(until float64) float64 {
+	for len(k.events) > 0 {
+		if k.events[0].at > until {
+			k.now = until
+			return k.now
+		}
+		ev := heap.Pop(&k.events).(*event)
+		k.now = ev.at
+		k.nsteps++
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.proc != nil:
+			p := ev.proc
+			if p.done || p.killed {
+				continue
+			}
+			if !p.started {
+				p.started = true
+				go p.run()
+			} else {
+				p.resume <- struct{}{}
+			}
+			<-k.yield
+		}
+	}
+	return k.now
+}
+
+// RunAll dispatches events until the event list is empty.
+func (k *Kernel) RunAll() float64 { return k.Run(math.Inf(1)) }
+
+// Drain terminates every live process. Suspended processes are woken with a
+// kill flag and unwind via a recovered panic; processes that have not yet
+// started are simply discarded. Call it once per simulation after Run so no
+// goroutines outlive the run.
+func (k *Kernel) Drain() {
+	for p := range k.live {
+		if p.done {
+			delete(k.live, p)
+			continue
+		}
+		p.killed = true
+		if p.started {
+			p.resume <- struct{}{}
+			<-k.yield
+		}
+		delete(k.live, p)
+	}
+	// Discard the remaining future events; the simulation is over.
+	k.events = nil
+}
+
+// LiveProcs reports the number of processes that have been spawned and have
+// not yet terminated.
+func (k *Kernel) LiveProcs() int { return len(k.live) }

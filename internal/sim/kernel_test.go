@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", k.Now())
+	}
+}
+
+func TestHoldAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var at float64
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(5)
+		at = p.Now()
+	})
+	k.RunAll()
+	if at != 5 {
+		t.Fatalf("time after Hold(5) = %v, want 5", at)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("kernel Now() = %v, want 5", k.Now())
+	}
+}
+
+func TestNegativeHoldIsZero(t *testing.T) {
+	k := NewKernel()
+	var at float64
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(-3)
+		at = p.Now()
+	})
+	k.RunAll()
+	if at != 0 {
+		t.Fatalf("time after Hold(-3) = %v, want 0", at)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Spawn("a", func(p *Proc) {
+		p.Hold(3)
+		order = append(order, 3)
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Hold(1)
+		order = append(order, 1)
+		p.Hold(1)
+		order = append(order, 2)
+	})
+	k.RunAll()
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	// Events scheduled for the same instant must fire in schedule order.
+	k := NewKernel()
+	var order []string
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Hold(10)
+			order = append(order, name)
+		})
+	}
+	k.RunAll()
+	want := []string{"a", "b", "c", "d"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	k := NewKernel()
+	reached := false
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(100)
+		reached = true
+	})
+	end := k.Run(50)
+	if end != 50 {
+		t.Fatalf("Run(50) returned %v", end)
+	}
+	if reached {
+		t.Fatal("event beyond horizon was dispatched")
+	}
+	k.Drain()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after Drain = %d", k.LiveProcs())
+	}
+}
+
+func TestRunResume(t *testing.T) {
+	// Run can be called again to continue past a checkpoint.
+	k := NewKernel()
+	var times []float64
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Hold(10)
+			times = append(times, p.Now())
+		}
+	})
+	k.Run(15)
+	if len(times) != 1 {
+		t.Fatalf("after Run(15): %v", times)
+	}
+	k.Run(100)
+	if !reflect.DeepEqual(times, []float64{10, 20, 30}) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	k := NewKernel()
+	var fired []float64
+	k.After(5, func() { fired = append(fired, k.Now()) })
+	k.After(2, func() { fired = append(fired, k.Now()) })
+	k.RunAll()
+	if !reflect.DeepEqual(fired, []float64{2, 5}) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestAtClampsToNow(t *testing.T) {
+	k := NewKernel()
+	var at float64 = -1
+	k.After(10, func() {
+		k.At(3, func() { at = k.Now() }) // 3 is in the past at this point
+	})
+	k.RunAll()
+	if at != 10 {
+		t.Fatalf("At in the past fired at %v, want 10", at)
+	}
+}
+
+func TestSpawnAtDelayedStart(t *testing.T) {
+	k := NewKernel()
+	var started float64 = -1
+	k.SpawnAt(42, "late", func(p *Proc) { started = p.Now() })
+	k.RunAll()
+	if started != 42 {
+		t.Fatalf("late proc started at %v, want 42", started)
+	}
+}
+
+func TestHoldUntil(t *testing.T) {
+	k := NewKernel()
+	var a, b float64
+	k.Spawn("p", func(p *Proc) {
+		p.HoldUntil(7)
+		a = p.Now()
+		p.HoldUntil(3) // past: no-op
+		b = p.Now()
+	})
+	k.RunAll()
+	if a != 7 || b != 7 {
+		t.Fatalf("a=%v b=%v, want 7,7", a, b)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		k.schedule(5, nil, func() {})
+	})
+	k.RunAll()
+}
+
+func TestDrainKillsSuspendedProcs(t *testing.T) {
+	k := NewKernel()
+	cleanup := false
+	k.Spawn("p", func(p *Proc) {
+		defer func() { cleanup = true }()
+		p.Hold(1e9)
+	})
+	k.Run(10)
+	k.Drain()
+	if !cleanup {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Drain", k.LiveProcs())
+	}
+}
+
+func TestDrainUnstartedProc(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.SpawnAt(100, "never", func(p *Proc) { ran = true })
+	k.Run(10)
+	k.Drain()
+	if ran {
+		t.Fatal("unstarted proc body ran")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d", k.LiveProcs())
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	k := NewKernel()
+	var childTime float64 = -1
+	k.Spawn("parent", func(p *Proc) {
+		p.Hold(5)
+		k.Spawn("child", func(c *Proc) {
+			c.Hold(2)
+			childTime = c.Now()
+		})
+		p.Hold(10)
+	})
+	k.RunAll()
+	if childTime != 7 {
+		t.Fatalf("child finished at %v, want 7", childTime)
+	}
+}
+
+func TestManyProcsInterleave(t *testing.T) {
+	k := NewKernel()
+	const n = 100
+	count := 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Hold(float64(i % 7))
+			count++
+		})
+	}
+	k.RunAll()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(1)
+		p.Hold(1)
+	})
+	k.RunAll()
+	if k.Steps() < 3 { // spawn event + 2 holds
+		t.Fatalf("Steps() = %d, want >= 3", k.Steps())
+	}
+}
+
+func TestRunAllInfinity(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) { p.Hold(math.MaxFloat64 / 2) })
+	end := k.RunAll()
+	if end != math.MaxFloat64/2 {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+// Property: clock is monotone non-decreasing across arbitrary hold patterns.
+func TestQuickClockMonotone(t *testing.T) {
+	f := func(holds []uint16) bool {
+		k := NewKernel()
+		ok := true
+		last := -1.0
+		for i, h := range holds {
+			d := float64(h % 100)
+			i := i
+			k.SpawnAt(float64(i%5), "p", func(p *Proc) {
+				p.Hold(d)
+				if p.Now() < last {
+					ok = false
+				}
+				last = p.Now()
+			})
+		}
+		k.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedSameTimeOrdering(t *testing.T) {
+	// Procs, After callbacks, and At callbacks scheduled for the same
+	// instant fire in schedule order, regardless of kind.
+	k := NewKernel()
+	var order []string
+	k.After(5, func() { order = append(order, "after") })
+	k.SpawnAt(5, "proc", func(p *Proc) { order = append(order, "proc") })
+	k.At(5, func() { order = append(order, "at") })
+	k.RunAll()
+	want := []string{"after", "proc", "at"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCallbackSchedulesProc(t *testing.T) {
+	// A kernel-context callback can spawn processes and schedule further
+	// callbacks.
+	k := NewKernel()
+	var at float64 = -1
+	k.After(2, func() {
+		k.Spawn("child", func(p *Proc) {
+			p.Hold(3)
+			at = p.Now()
+		})
+	})
+	k.RunAll()
+	if at != 5 {
+		t.Fatalf("child finished at %v, want 5", at)
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	// A few thousand interleaving processes with resources: exercises the
+	// hand-off discipline at scale.
+	k := NewKernel()
+	r := NewResource(k, "shared", 3)
+	const n = 2000
+	done := 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.SpawnAt(float64(i%17), "p", func(p *Proc) {
+			r.Use(p, float64(i%5)+0.1)
+			done++
+		})
+	}
+	k.RunAll()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d", k.LiveProcs())
+	}
+}

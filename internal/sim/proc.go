@@ -1,0 +1,76 @@
+package sim
+
+// errKilled is the sentinel panic value used by Kernel.Drain to unwind a
+// suspended process.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: process killed" }
+
+var errKilled = killedError{}
+
+// Proc is a simulated process. A Proc's body runs in its own goroutine but
+// the kernel guarantees only one process executes at a time, so bodies may
+// freely read and write shared simulation state without locking.
+type Proc struct {
+	kernel  *Kernel
+	name    string
+	body    func(*Proc)
+	resume  chan struct{}
+	started bool
+	done    bool
+	killed  bool
+}
+
+// run is the goroutine entry point: execute the body, recover a kill
+// unwind, then hand control back to the kernel.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); !ok {
+				panic(r) // real bug: propagate
+			}
+		}
+		p.done = true
+		delete(p.kernel.live, p)
+		p.kernel.yield <- struct{}{}
+	}()
+	p.body(p)
+}
+
+// yield suspends the process until the kernel resumes it.
+func (p *Proc) yield() {
+	p.kernel.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.kernel }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.kernel.now }
+
+// Hold advances virtual time by d seconds for this process, letting other
+// events run meanwhile. Negative durations are treated as zero.
+func (p *Proc) Hold(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.kernel.schedule(p.kernel.now+d, p, nil)
+	p.yield()
+}
+
+// HoldUntil suspends the process until absolute virtual time t (no-op if t
+// is in the past).
+func (p *Proc) HoldUntil(t float64) {
+	if t <= p.kernel.now {
+		return
+	}
+	p.kernel.schedule(t, p, nil)
+	p.yield()
+}

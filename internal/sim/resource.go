@@ -1,0 +1,131 @@
+package sim
+
+// Resource is a FCFS facility with fixed capacity — the analogue of a CSIM
+// facility. The simulation uses capacity-1 resources for the two wireless
+// channels and the server disk; contention at these resources is what
+// produces the paper's queueing effects (e.g. downlink backlog under the
+// Bursty arrival pattern).
+//
+// A Resource also accumulates utilization and queueing statistics so
+// experiments can report channel utilization alongside the paper's metrics.
+type Resource struct {
+	name     string
+	kernel   *Kernel
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// statistics
+	acquires      uint64
+	busyArea      float64 // integral of inUse over time
+	queueArea     float64 // integral of queue length over time
+	lastStatTime  float64
+	totalWaitTime float64
+	enqueueTime   map[*Proc]float64
+}
+
+// NewResource creates a facility with the given capacity (servers).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource with non-positive capacity")
+	}
+	return &Resource{
+		name:        name,
+		kernel:      k,
+		capacity:    capacity,
+		enqueueTime: make(map[*Proc]float64),
+	}
+}
+
+// accrue integrates the busy/queue areas up to the current time.
+func (r *Resource) accrue() {
+	now := r.kernel.now
+	dt := now - r.lastStatTime
+	if dt > 0 {
+		r.busyArea += dt * float64(r.inUse)
+		r.queueArea += dt * float64(len(r.waiters))
+	}
+	r.lastStatTime = now
+}
+
+// Acquire takes one unit of the resource, queueing FCFS if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.accrue()
+	r.acquires++
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	r.enqueueTime[p] = r.kernel.now
+	p.yield() // resumed by Release
+	r.totalWaitTime += r.kernel.now - r.enqueueTime[p]
+	delete(r.enqueueTime, p)
+}
+
+// Release frees one unit. If processes are queued the unit is handed to the
+// head of the queue (the slot never becomes observably free, preserving
+// FCFS).
+func (r *Resource) Release() {
+	r.accrue()
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		// Hand the slot over; wake the waiter through the event list so
+		// same-time wakeups keep deterministic FIFO order.
+		r.kernel.schedule(r.kernel.now, w, nil)
+		return
+	}
+	r.inUse--
+}
+
+// Use is the common acquire–hold–release pattern: occupy the resource for
+// d seconds of service.
+func (r *Resource) Use(p *Proc, d float64) {
+	r.Acquire(p)
+	p.Hold(d)
+	r.Release()
+}
+
+// Name returns the facility name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse reports the number of busy units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of queued processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquires reports the total number of Acquire calls.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// Utilization reports time-average busy fraction since the start of the
+// simulation (per unit of capacity).
+func (r *Resource) Utilization() float64 {
+	r.accrue()
+	if r.kernel.now == 0 {
+		return 0
+	}
+	return r.busyArea / (r.kernel.now * float64(r.capacity))
+}
+
+// MeanQueueLen reports the time-average queue length.
+func (r *Resource) MeanQueueLen() float64 {
+	r.accrue()
+	if r.kernel.now == 0 {
+		return 0
+	}
+	return r.queueArea / r.kernel.now
+}
+
+// MeanWait reports the average time spent queued per acquire.
+func (r *Resource) MeanWait() float64 {
+	if r.acquires == 0 {
+		return 0
+	}
+	return r.totalWaitTime / float64(r.acquires)
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceExclusive(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "disk", 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		k.Spawn("p", func(p *Proc) {
+			r.Use(p, 10)
+			done = append(done, p.Now())
+		})
+	}
+	k.RunAll()
+	want := []float64{10, 20, 30}
+	if !reflect.DeepEqual(done, want) {
+		t.Fatalf("completion times %v, want %v (serialized service)", done, want)
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.SpawnAt(float64(i), "p", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Hold(100)
+			r.Release()
+		})
+	}
+	k.RunAll()
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("service order %v, want FIFO", order)
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "pool", 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		k.Spawn("p", func(p *Proc) {
+			r.Use(p, 10)
+			done = append(done, p.Now())
+		})
+	}
+	k.RunAll()
+	// Two run in parallel: pairs complete at 10 and 20.
+	want := []float64{10, 10, 20, 20}
+	if !reflect.DeepEqual(done, want) {
+		t.Fatalf("completion times %v, want %v", done, want)
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "x", 1)
+	panicked := false
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+				panic(errKilled) // unwind cleanly through the kernel
+			}
+		}()
+		r.Release()
+	})
+	k.RunAll()
+	if !panicked {
+		t.Fatal("Release of idle resource did not panic")
+	}
+}
+
+func TestNewResourceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResource with capacity 0 did not panic")
+		}
+	}()
+	NewResource(NewKernel(), "bad", 0)
+}
+
+func TestUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "disk", 1)
+	k.Spawn("p", func(p *Proc) {
+		r.Use(p, 25)
+		p.Hold(75)
+	})
+	k.RunAll()
+	if u := r.Utilization(); math.Abs(u-0.25) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 0.25", u)
+	}
+}
+
+func TestMeanWait(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", func(p *Proc) { r.Use(p, 10) })
+	}
+	k.RunAll()
+	// First waits 0, second waits 10 -> mean 5.
+	if w := r.MeanWait(); math.Abs(w-5) > 1e-9 {
+		t.Fatalf("MeanWait = %v, want 5", w)
+	}
+	if r.Acquires() != 2 {
+		t.Fatalf("Acquires = %d, want 2", r.Acquires())
+	}
+}
+
+func TestQueueLenDuringContention(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	var maxQ int
+	for i := 0; i < 4; i++ {
+		k.Spawn("p", func(p *Proc) { r.Use(p, 10) })
+	}
+	k.After(5, func() {
+		if q := r.QueueLen(); q > maxQ {
+			maxQ = q
+		}
+	})
+	k.RunAll()
+	if maxQ != 3 {
+		t.Fatalf("queue length at t=5 was %d, want 3", maxQ)
+	}
+}
+
+func TestMeanQueueLen(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", func(p *Proc) { r.Use(p, 10) })
+	}
+	k.RunAll()
+	// One proc queued during [0,10), none during [10,20): mean = 0.5.
+	if q := r.MeanQueueLen(); math.Abs(q-0.5) > 1e-9 {
+		t.Fatalf("MeanQueueLen = %v, want 0.5", q)
+	}
+}
+
+func TestDrainWithQueuedWaiters(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	for i := 0; i < 3; i++ {
+		k.Spawn("p", func(p *Proc) { r.Use(p, 1e9) })
+	}
+	k.Run(10)
+	k.Drain()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Drain", k.LiveProcs())
+	}
+}
+
+// Property: with a capacity-1 resource and identical service demands, total
+// makespan equals n*d and service strictly serializes, for any d and n.
+func TestQuickSerialMakespan(t *testing.T) {
+	f := func(nRaw, dRaw uint8) bool {
+		n := int(nRaw)%8 + 1
+		d := float64(dRaw%50) + 1
+		k := NewKernel()
+		r := NewResource(k, "x", 1)
+		var last float64
+		for i := 0; i < n; i++ {
+			k.Spawn("p", func(p *Proc) {
+				r.Use(p, d)
+				last = p.Now()
+			})
+		}
+		k.RunAll()
+		return math.Abs(last-float64(n)*d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelHoldLoop(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for {
+			p.Hold(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run(float64(b.N))
+	b.StopTimer()
+	k.Drain()
+}
+
+func BenchmarkKernelResourceContention(b *testing.B) {
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	for i := 0; i < 10; i++ {
+		k.Spawn("p", func(p *Proc) {
+			for {
+				r.Use(p, 1)
+				p.Hold(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	k.Run(float64(b.N))
+	b.StopTimer()
+	k.Drain()
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket frequency count with optional logarithmic
+// bucket edges — log buckets suit response times, whose interesting
+// structure spans milliseconds (cache hits) to minutes (downlink backlog).
+type Histogram struct {
+	lo, hi  float64
+	log     bool
+	buckets []uint64
+	under   uint64
+	over    uint64
+	count   uint64
+}
+
+// NewHistogram returns a linear histogram over [lo, hi) with n buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || hi <= lo {
+		panic("stats: histogram needs n >= 1 and hi > lo")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, n)}
+}
+
+// NewLogHistogram returns a histogram over [lo, hi) with n
+// logarithmically spaced buckets; lo must be positive.
+func NewLogHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || hi <= lo || lo <= 0 {
+		panic("stats: log histogram needs n >= 1 and hi > lo > 0")
+	}
+	return &Histogram{lo: lo, hi: hi, log: true, buckets: make([]uint64, n)}
+}
+
+// Add counts one observation. Values outside [lo, hi) land in the
+// under/overflow counters.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		h.buckets[h.bucketOf(x)]++
+	}
+}
+
+func (h *Histogram) bucketOf(x float64) int {
+	n := len(h.buckets)
+	var frac float64
+	if h.log {
+		frac = math.Log(x/h.lo) / math.Log(h.hi/h.lo)
+	} else {
+		frac = (x - h.lo) / (h.hi - h.lo)
+	}
+	i := int(frac * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// BucketBounds returns the [lo, hi) edges of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	n := len(h.buckets)
+	if i < 0 || i >= n {
+		panic("stats: bucket index out of range")
+	}
+	edge := func(k int) float64 {
+		frac := float64(k) / float64(n)
+		if h.log {
+			return h.lo * math.Pow(h.hi/h.lo, frac)
+		}
+		return h.lo + frac*(h.hi-h.lo)
+	}
+	return edge(i), edge(i + 1)
+}
+
+// Count returns the total number of observations (including out of range).
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() uint64 { return h.under }
+
+// Overflow returns the count of observations at or above hi.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Render writes an ASCII bar chart, one line per bucket, bars scaled to
+// width characters at the modal bucket. Empty edge buckets are trimmed.
+func (h *Histogram) Render(w io.Writer, width int) {
+	if width < 1 {
+		width = 40
+	}
+	var max uint64
+	first, last := -1, -1
+	for i, c := range h.buckets {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if h.under > 0 {
+		fmt.Fprintf(w, "%14s  %7d\n", fmt.Sprintf("< %.3g", h.lo), h.under)
+	}
+	if first >= 0 {
+		for i := first; i <= last; i++ {
+			lo, hi := h.BucketBounds(i)
+			bar := ""
+			if max > 0 {
+				bar = strings.Repeat("#", int(float64(width)*float64(h.buckets[i])/float64(max)))
+			}
+			fmt.Fprintf(w, "%6.3g-%-7.3g  %7d %s\n", lo, hi, h.buckets[i], bar)
+		}
+	}
+	if h.over > 0 {
+		fmt.Fprintf(w, "%14s  %7d\n", fmt.Sprintf(">= %.3g", h.hi), h.over)
+	}
+}

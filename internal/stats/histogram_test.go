@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramLinear(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Add(x)
+	}
+	want := []uint64{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.Count() != 5 || h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Fatalf("counts: %d/%d/%d", h.Count(), h.Underflow(), h.Overflow())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(1, 2, 2)
+	h.Add(0.5)
+	h.Add(2) // hi is exclusive
+	h.Add(1e9)
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	lo, hi := h.BucketBounds(2)
+	if lo != 4 || hi != 6 {
+		t.Fatalf("bounds = %v..%v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range bucket did not panic")
+		}
+	}()
+	h.BucketBounds(5)
+}
+
+func TestLogHistogram(t *testing.T) {
+	// Decades 0.01..100 in 4 buckets: one per decade.
+	h := NewLogHistogram(0.01, 100, 4)
+	for _, x := range []float64{0.02, 0.5, 5, 50} {
+		h.Add(x)
+	}
+	for i := 0; i < 4; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	lo, hi := h.BucketBounds(1)
+	if lo < 0.099 || lo > 0.101 || hi < 0.99 || hi > 1.01 {
+		t.Fatalf("log bounds = %v..%v, want ~0.1..1", lo, hi)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewLogHistogram(0.1, 100, 6)
+	h.Add(0.01) // underflow
+	for i := 0; i < 10; i++ {
+		h.Add(1.5)
+	}
+	h.Add(50)
+	h.Add(1000) // overflow
+	var buf bytes.Buffer
+	h.Render(&buf, 20)
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "< 0.1") || !strings.Contains(out, ">= 100") {
+		t.Fatalf("out-of-range rows missing:\n%s", out)
+	}
+	// The modal bucket gets the full-width bar.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("modal bar not full width:\n%s", out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	NewHistogram(0, 1, 3).Render(&buf, 10)
+	if buf.Len() != 0 {
+		t.Fatalf("empty histogram rendered %q", buf.String())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewHistogram(0, 0, 3) },
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewLogHistogram(0, 1, 3) },
+		func() { NewLogHistogram(2, 1, 3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every in-range observation lands in the bucket whose bounds
+// contain it, and bucket counts sum to Count minus under/overflow.
+func TestQuickHistogramConsistency(t *testing.T) {
+	f := func(raw []uint16, logScale bool) bool {
+		var h *Histogram
+		if logScale {
+			h = NewLogHistogram(1, 1000, 7)
+		} else {
+			h = NewHistogram(1, 1000, 7)
+		}
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Bucket(i)
+			lo, hi := h.BucketBounds(i)
+			if hi <= lo {
+				return false
+			}
+		}
+		return sum+h.Underflow()+h.Overflow() == h.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package stats provides the online statistical estimators the caching
+// mechanism is built on.
+//
+// The paper's two adaptive components both reduce to statistics over
+// inter-arrival durations:
+//
+//   - cache coherence estimates a refresh time RT = d̄ + β·s from the mean
+//     and standard deviation of write inter-arrivals (Welford);
+//   - cache replacement scores items by the mean (Mean scheme), windowed
+//     mean (Window scheme), or exponentially weighted moving average
+//     (EWMA scheme) of access inter-arrivals.
+//
+// All estimators here are O(1) or O(W) space and update in O(1) time,
+// matching the constraints §3.3 of the paper puts on a resource-limited
+// mobile client.
+package stats
+
+import "math"
+
+// Welford is a numerically stable online estimator of mean and variance
+// (Welford's algorithm). The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance (0 for <2 samples).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset discards all observations.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge combines another estimator's observations into w (parallel-merge
+// form of Welford); used to aggregate per-client response time statistics.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// EWMA is an exponentially weighted moving average with retention weight
+// alpha in [0, 1): S <- alpha*S + (1-alpha)*x. With alpha = 0.5 the history
+// halves in weight on every new observation — the paper's EWMA-0.5, chosen
+// to mirror LRD's "divide the reference count by 2".
+type EWMA struct {
+	alpha float64
+	value float64
+	n     uint64
+}
+
+// NewEWMA returns an estimator with the given retention weight.
+// It panics unless 0 <= alpha < 1.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha < 0 || alpha >= 1 {
+		panic("stats: EWMA alpha must be in [0,1)")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation. The first observation initializes the
+// average directly.
+func (e *EWMA) Add(x float64) {
+	if e.n == 0 {
+		e.value = x
+	} else {
+		e.value = e.alpha*e.value + (1-e.alpha)*x
+	}
+	e.n++
+}
+
+// Value returns the current average (0 when empty).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Count returns the number of observations.
+func (e *EWMA) Count() uint64 { return e.n }
+
+// Alpha returns the retention weight.
+func (e *EWMA) Alpha() float64 { return e.alpha }
+
+// Blend returns the average as if x had been added, without mutating the
+// estimator. Replacement uses this to fold the still-open interval
+// (now − last access) into an eviction score.
+func (e *EWMA) Blend(x float64) float64 {
+	if e.n == 0 {
+		return x
+	}
+	return e.alpha*e.value + (1-e.alpha)*x
+}
+
+// Window is a fixed-size sliding window of the most recent observations
+// with an O(1) running mean — the paper's Window scheme bookkeeping.
+type Window struct {
+	buf  []float64
+	head int
+	n    int
+	sum  float64
+}
+
+// NewWindow returns a window of the given size. It panics if size <= 0.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic("stats: Window size must be positive")
+	}
+	return &Window{buf: make([]float64, size)}
+}
+
+// Add pushes one observation, evicting the oldest if the window is full.
+func (w *Window) Add(x float64) {
+	if w.n == len(w.buf) {
+		w.sum -= w.buf[w.head]
+	} else {
+		w.n++
+	}
+	w.buf[w.head] = x
+	w.sum += x
+	w.head = (w.head + 1) % len(w.buf)
+}
+
+// Mean returns the mean of the retained observations (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// Count returns the number of retained observations.
+func (w *Window) Count() int { return w.n }
+
+// Size returns the window capacity.
+func (w *Window) Size() int { return len(w.buf) }
+
+// Oldest returns the oldest retained observation (0 when empty).
+func (w *Window) Oldest() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	if w.n < len(w.buf) {
+		// Buffer not yet wrapped: the oldest sample sits at slot 0.
+		return w.buf[(w.head-w.n+len(w.buf))%len(w.buf)]
+	}
+	return w.buf[w.head]
+}
+
+// BlendMean returns the windowed mean as if x had been added, without
+// mutating the window.
+func (w *Window) BlendMean(x float64) float64 {
+	if w.n == 0 {
+		return x
+	}
+	sum, n := w.sum+x, w.n+1
+	if w.n == len(w.buf) {
+		sum -= w.buf[w.head] // x would push the oldest sample out
+		n--
+	}
+	return sum / float64(n)
+}
+
+// InterArrival tracks durations between consecutive event timestamps and
+// feeds them to a Welford estimator. It backs the refresh-time estimator:
+// the server records one InterArrival per database item's write stream.
+type InterArrival struct {
+	last    float64
+	hasLast bool
+	W       Welford
+}
+
+// Observe records an event at time t. The first event only establishes the
+// reference point; subsequent events add (t − previous) as a duration.
+func (ia *InterArrival) Observe(t float64) {
+	if ia.hasLast {
+		d := t - ia.last
+		if d < 0 {
+			d = 0
+		}
+		ia.W.Add(d)
+	}
+	ia.last = t
+	ia.hasLast = true
+}
+
+// Count returns the number of recorded durations (events − 1).
+func (ia *InterArrival) Count() uint64 { return ia.W.Count() }
+
+// Mean returns the mean inter-arrival duration.
+func (ia *InterArrival) Mean() float64 { return ia.W.Mean() }
+
+// Std returns the population standard deviation of the durations.
+func (ia *InterArrival) Std() float64 { return ia.W.Std() }
+
+// Last returns the timestamp of the most recent event and whether one has
+// been observed.
+func (ia *InterArrival) Last() (float64, bool) { return ia.last, ia.hasLast }

@@ -1,0 +1,398 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEq(w.Variance(), 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", w.Variance())
+	}
+	if !almostEq(w.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", w.Std())
+	}
+	if !almostEq(w.SampleVariance(), 32.0/7, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want 32/7", w.SampleVariance())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 || w.Std() != 0 {
+		t.Fatalf("single-sample stats: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Property: Welford matches the two-pass computation.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 7
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs))
+		return almostEq(w.Mean(), mean, 1e-9) && almostEq(w.Variance(), variance, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two Welford estimators equals one pass over both inputs.
+func TestQuickWelfordMerge(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var wa, wb, all Welford
+		for _, v := range a {
+			wa.Add(float64(v))
+			all.Add(float64(v))
+		}
+		for _, v := range b {
+			wb.Add(float64(v))
+			all.Add(float64(v))
+		}
+		wa.Merge(&wb)
+		return wa.Count() == all.Count() &&
+			almostEq(wa.Mean(), all.Mean(), 1e-9) &&
+			almostEq(wa.Variance(), all.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMARecurrence(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first value %v, want 10", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 { // 0.5*10 + 0.5*20
+		t.Fatalf("value %v, want 15", e.Value())
+	}
+	e.Add(0)
+	if e.Value() != 7.5 {
+		t.Fatalf("value %v, want 7.5", e.Value())
+	}
+	if e.Count() != 3 {
+		t.Fatalf("Count %d", e.Count())
+	}
+	if e.Alpha() != 0.5 {
+		t.Fatalf("Alpha %v", e.Alpha())
+	}
+}
+
+func TestEWMAAlphaZeroTracksLast(t *testing.T) {
+	e := NewEWMA(0)
+	for _, x := range []float64{3, 9, 1} {
+		e.Add(x)
+		if e.Value() != x {
+			t.Fatalf("alpha=0 value %v, want %v", e.Value(), x)
+		}
+	}
+}
+
+func TestEWMABlendDoesNotMutate(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Add(10)
+	got := e.Blend(30)
+	if got != 20 {
+		t.Fatalf("Blend = %v, want 20", got)
+	}
+	if e.Value() != 10 {
+		t.Fatal("Blend mutated the estimator")
+	}
+	empty := NewEWMA(0.5)
+	if empty.Blend(7) != 7 {
+		t.Fatal("Blend on empty estimator should return x")
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewEWMA(%v) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// Property: EWMA value is always bounded by the min and max of its inputs.
+func TestQuickEWMABounded(t *testing.T) {
+	f := func(raw []uint16, alphaRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := float64(alphaRaw) / 256
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			x := float64(v)
+			e.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(3)
+	if w.Mean() != 0 || w.Count() != 0 || w.Size() != 3 {
+		t.Fatal("empty window state wrong")
+	}
+	w.Add(1)
+	w.Add(2)
+	if !almostEq(w.Mean(), 1.5, 1e-12) {
+		t.Fatalf("Mean %v", w.Mean())
+	}
+	w.Add(3)
+	w.Add(10) // evicts 1
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean after eviction %v, want 5", w.Mean())
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count %d", w.Count())
+	}
+}
+
+func TestWindowBlendMean(t *testing.T) {
+	w := NewWindow(2)
+	if w.BlendMean(4) != 4 {
+		t.Fatal("BlendMean on empty window")
+	}
+	w.Add(2)
+	if !almostEq(w.BlendMean(4), 3, 1e-12) {
+		t.Fatalf("BlendMean = %v, want 3", w.BlendMean(4))
+	}
+	w.Add(6) // window now [2 6], full
+	// Adding 10 would evict 2: mean of [6 10] = 8.
+	if !almostEq(w.BlendMean(10), 8, 1e-12) {
+		t.Fatalf("BlendMean full = %v, want 8", w.BlendMean(10))
+	}
+	if !almostEq(w.Mean(), 4, 1e-12) {
+		t.Fatal("BlendMean mutated the window")
+	}
+}
+
+// Property: window mean equals the mean of the last W observations.
+func TestQuickWindowMatchesNaive(t *testing.T) {
+	f := func(raw []uint16, sizeRaw uint8) bool {
+		size := int(sizeRaw)%10 + 1
+		w := NewWindow(size)
+		var hist []float64
+		for _, v := range raw {
+			x := float64(v)
+			w.Add(x)
+			hist = append(hist, x)
+			start := len(hist) - size
+			if start < 0 {
+				start = 0
+			}
+			sum := 0.0
+			for _, h := range hist[start:] {
+				sum += h
+			}
+			want := sum / float64(len(hist[start:]))
+			if !almostEq(w.Mean(), want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestInterArrival(t *testing.T) {
+	var ia InterArrival
+	if _, ok := ia.Last(); ok {
+		t.Fatal("empty InterArrival claims a last event")
+	}
+	ia.Observe(10)
+	if ia.Count() != 0 {
+		t.Fatal("first event should record no duration")
+	}
+	ia.Observe(15)
+	ia.Observe(25)
+	if ia.Count() != 2 {
+		t.Fatalf("Count %d, want 2", ia.Count())
+	}
+	if !almostEq(ia.Mean(), 7.5, 1e-12) {
+		t.Fatalf("Mean %v, want 7.5", ia.Mean())
+	}
+	if !almostEq(ia.Std(), 2.5, 1e-12) {
+		t.Fatalf("Std %v, want 2.5", ia.Std())
+	}
+	last, ok := ia.Last()
+	if !ok || last != 25 {
+		t.Fatalf("Last = %v,%v", last, ok)
+	}
+}
+
+func TestInterArrivalClampsNegative(t *testing.T) {
+	var ia InterArrival
+	ia.Observe(10)
+	ia.Observe(5) // out-of-order: clamped to 0 rather than negative
+	if ia.Mean() != 0 {
+		t.Fatalf("Mean %v, want 0", ia.Mean())
+	}
+}
+
+func TestSummaryPercentiles(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count %d", s.Count())
+	}
+	if !almostEq(s.Mean(), 50.5, 1e-12) {
+		t.Fatalf("Mean %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("Min/Max %v/%v", s.Min(), s.Max())
+	}
+	if p := s.Percentile(50); !almostEq(p, 50.5, 1e-12) {
+		t.Fatalf("p50 %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 %v", p)
+	}
+	if p := s.Percentile(95); p < 94 || p > 97 {
+		t.Fatalf("p95 %v", p)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Percentile(50) != 0 || s.CI95() != 0 {
+		t.Fatal("empty summary not all zero")
+	}
+}
+
+func TestSummaryCI95Shrinks(t *testing.T) {
+	r := rng.New(1)
+	var small, large Summary
+	for i := 0; i < 100; i++ {
+		small.Add(r.Float64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(r.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}
+
+func TestSummaryAddAfterSortedQuery(t *testing.T) {
+	var s Summary
+	s.Add(5)
+	_ = s.Percentile(50) // forces a sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatal("Add after Percentile broke ordering")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+	r.AddHit()
+	r.AddMiss()
+	r.Add(true)
+	r.Add(false)
+	if r.Num != 2 || r.Denom != 4 {
+		t.Fatalf("counts %d/%d", r.Num, r.Denom)
+	}
+	if r.Value() != 0.5 || r.Percent() != 50 {
+		t.Fatalf("Value %v Percent %v", r.Value(), r.Percent())
+	}
+	var o Ratio
+	o.AddHit()
+	r.Merge(o)
+	if r.Num != 3 || r.Denom != 5 {
+		t.Fatalf("after merge %d/%d", r.Num, r.Denom)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(2)
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

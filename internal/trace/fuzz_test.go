@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the trace parser never panics and either returns
+// records or a descriptive error on arbitrary input.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("")
+	f.Add(strings.Join(CSVHeader, ",") + "\n")
+	f.Add(strings.Join(CSVHeader, ",") + "\n1,2,3.0,4.0,1.0,5,6,7,8,9,true,false,10,11\n")
+	f.Add("garbage\nmore,garbage")
+	f.Add(strings.Join(CSVHeader, ",") + "\n1,2,NaN,inf,x,,,,,,maybe,false,10\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := ReadCSV(strings.NewReader(input))
+		if err == nil {
+			// Whatever parsed must summarize without panicking.
+			_ = Analyze(records)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+// Package trace provides structured per-query tracing for simulations:
+// every completed query can be emitted as one record, giving an auditable,
+// machine-readable account of a run (for debugging the simulator, plotting
+// distributions, or validating against the aggregate metrics).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// QueryRecord describes one completed client query.
+type QueryRecord struct {
+	ClientID     int
+	Index        uint64  // client-local query sequence number
+	IssuedAt     float64 // scheduled arrival (virtual seconds)
+	CompletedAt  float64
+	Reads        int // attribute reads performed
+	Hits         int // reads served by locally valid items
+	Stale        int // reads served from expired items (disconnected)
+	Unavailable  int // reads not servable at all
+	Errors       int // reads that violated coherence
+	Remote       bool
+	Disconnected bool
+	RequestBytes int
+	ReplyBytes   int
+}
+
+// ResponseTime returns the query's response time.
+func (r QueryRecord) ResponseTime() float64 { return r.CompletedAt - r.IssuedAt }
+
+// Tracer consumes query records. Implementations must tolerate being
+// called from the (single-threaded) simulation loop.
+type Tracer interface {
+	Query(r QueryRecord)
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Query implements Tracer.
+func (Nop) Query(QueryRecord) {}
+
+// Collector keeps every record in memory — for tests and small analyses.
+type Collector struct {
+	mu      sync.Mutex
+	Records []QueryRecord
+}
+
+// Query implements Tracer.
+func (c *Collector) Query(r QueryRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Records = append(c.Records, r)
+}
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Records)
+}
+
+// CSVHeader is the column layout of CSVTracer.
+var CSVHeader = []string{
+	"client", "index", "issued_at", "completed_at", "response_s",
+	"reads", "hits", "stale", "unavailable", "errors",
+	"remote", "disconnected", "request_bytes", "reply_bytes",
+}
+
+// CSVTracer streams records as CSV rows.
+type CSVTracer struct {
+	w      *csv.Writer
+	wroteH bool
+	err    error
+}
+
+// NewCSV returns a tracer writing CSV (with header) to w.
+func NewCSV(w io.Writer) *CSVTracer {
+	return &CSVTracer{w: csv.NewWriter(w)}
+}
+
+// Query implements Tracer.
+func (t *CSVTracer) Query(r QueryRecord) {
+	if t.err != nil {
+		return
+	}
+	if !t.wroteH {
+		t.wroteH = true
+		if err := t.w.Write(CSVHeader); err != nil {
+			t.err = err
+			return
+		}
+	}
+	row := []string{
+		strconv.Itoa(r.ClientID),
+		strconv.FormatUint(r.Index, 10),
+		fmt.Sprintf("%.3f", r.IssuedAt),
+		fmt.Sprintf("%.3f", r.CompletedAt),
+		fmt.Sprintf("%.4f", r.ResponseTime()),
+		strconv.Itoa(r.Reads),
+		strconv.Itoa(r.Hits),
+		strconv.Itoa(r.Stale),
+		strconv.Itoa(r.Unavailable),
+		strconv.Itoa(r.Errors),
+		strconv.FormatBool(r.Remote),
+		strconv.FormatBool(r.Disconnected),
+		strconv.Itoa(r.RequestBytes),
+		strconv.Itoa(r.ReplyBytes),
+	}
+	t.err = t.w.Write(row)
+}
+
+// Flush drains buffered rows and returns the first error encountered.
+func (t *CSVTracer) Flush() error {
+	t.w.Flush()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Error()
+}

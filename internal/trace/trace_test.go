@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sample() QueryRecord {
+	return QueryRecord{
+		ClientID: 3, Index: 7, IssuedAt: 100, CompletedAt: 102.5,
+		Reads: 60, Hits: 40, Stale: 2, Unavailable: 1, Errors: 3,
+		Remote: true, Disconnected: false,
+		RequestBytes: 27, ReplyBytes: 512,
+	}
+}
+
+func TestResponseTime(t *testing.T) {
+	if rt := sample().ResponseTime(); rt != 2.5 {
+		t.Fatalf("ResponseTime = %v", rt)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Query(sample())
+	c.Query(sample())
+	if c.Len() != 2 || len(c.Records) != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Records[0].ClientID != 3 {
+		t.Fatal("record mangled")
+	}
+}
+
+func TestNop(t *testing.T) {
+	Nop{}.Query(sample()) // must not panic
+}
+
+func TestCSVTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewCSV(&buf)
+	tr.Query(sample())
+	tr.Query(sample())
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 records
+		t.Fatalf("%d rows", len(rows))
+	}
+	if len(rows[0]) != len(CSVHeader) {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(CSVHeader))
+	}
+	if rows[1][0] != "3" || rows[1][5] != "60" || rows[1][10] != "true" {
+		t.Fatalf("row content: %v", rows[1])
+	}
+	if !strings.Contains(rows[1][4], "2.5") {
+		t.Fatalf("response column: %q", rows[1][4])
+	}
+}
+
+func TestCSVTracerWriterError(t *testing.T) {
+	tr := NewCSV(failingWriter{})
+	tr.Query(sample())
+	if err := tr.Flush(); err == nil {
+		t.Fatal("expected error from failing writer")
+	}
+	// Further records are dropped without panicking.
+	tr.Query(sample())
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errBoom
+}
+
+var errBoom = &csvError{"boom"}
+
+type csvError struct{ s string }
+
+func (e *csvError) Error() string { return e.s }
+
+func TestRoundTripCSV(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewCSV(&buf)
+	recs := []QueryRecord{sample(), {ClientID: 1, Index: 2, IssuedAt: 7200,
+		CompletedAt: 7201, Reads: 10, Hits: 10}}
+	for _, r := range recs {
+		tr.Query(r)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("parsed %d records", len(parsed))
+	}
+	if parsed[0] != recs[0] || parsed[1] != recs[1] {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", parsed, recs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("bogus,header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	head := strings.Join(CSVHeader, ",")
+	if _, err := ReadCSV(strings.NewReader(head + "\n1,2,x,4,5,6,7,8,9,10,true,false,1,2\n")); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	recs, err := ReadCSV(strings.NewReader(""))
+	if err != nil || recs != nil {
+		t.Fatalf("empty input: %v, %v", recs, err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	recs := []QueryRecord{
+		{ClientID: 0, IssuedAt: 0, CompletedAt: 2, Reads: 10, Hits: 5, Errors: 1, Remote: true, RequestBytes: 100, ReplyBytes: 400},
+		{ClientID: 0, IssuedAt: 3600, CompletedAt: 3601, Reads: 10, Hits: 10},
+		{ClientID: 1, IssuedAt: 10, CompletedAt: 16, Reads: 10, Hits: 0, Unavailable: 2, Stale: 1, Disconnected: true},
+	}
+	a := Analyze(recs)
+	if a.Queries != 3 || a.Reads != 30 || a.Hits != 15 || a.Remote != 1 {
+		t.Fatalf("counts: %+v", a)
+	}
+	if a.HitRatio() != 0.5 {
+		t.Fatalf("HitRatio = %v", a.HitRatio())
+	}
+	if a.ErrorRate() != 1.0/30 {
+		t.Fatalf("ErrorRate = %v", a.ErrorRate())
+	}
+	if a.Response.Mean() != 3 {
+		t.Fatalf("mean response = %v", a.Response.Mean())
+	}
+	if len(a.PerClient) != 2 || a.PerClient[0].Count() != 2 {
+		t.Fatal("per-client breakdown wrong")
+	}
+	if a.PerHour[0].Count() != 2 || a.PerHour[1].Count() != 1 {
+		t.Fatal("per-hour breakdown wrong")
+	}
+	if a.RequestBytes != 100 || a.ReplyBytes != 400 {
+		t.Fatal("wire accounting wrong")
+	}
+	var report bytes.Buffer
+	a.WriteReport(&report)
+	if !strings.Contains(report.String(), "per client") {
+		t.Fatal("report missing sections")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.HitRatio() != 0 || a.ErrorRate() != 0 || a.Queries != 0 {
+		t.Fatal("empty analysis not zero")
+	}
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/rng"
+)
+
+// DisconnectConfig parameterizes Experiment #6's disconnection model:
+// V of the clients suffer one outage of D hours per simulated day, at a
+// seeded random start time within each day. The paper sweeps D over 1..10
+// hours and V over {1, 3, 5, 7, 9} of 10 clients; it does not state the
+// outage periodicity, so we use one outage per day (see DESIGN.md).
+type DisconnectConfig struct {
+	NumClients          int
+	DisconnectedClients int     // V: how many clients experience outages
+	DurationHours       float64 // D: outage length
+	Days                int     // simulation horizon in days
+	Seed                uint64
+}
+
+// BuildSchedules returns one network.Schedule per client (index-aligned);
+// clients beyond the first DisconnectedClients get empty (always-connected)
+// schedules.
+func BuildSchedules(cfg DisconnectConfig) []*network.Schedule {
+	if cfg.NumClients <= 0 {
+		panic("workload: NumClients must be positive")
+	}
+	if cfg.DisconnectedClients < 0 || cfg.DisconnectedClients > cfg.NumClients {
+		panic(fmt.Sprintf("workload: DisconnectedClients %d out of [0,%d]",
+			cfg.DisconnectedClients, cfg.NumClients))
+	}
+	if cfg.DurationHours < 0 || cfg.DurationHours > 24 {
+		panic("workload: DurationHours must be in [0,24]")
+	}
+	if cfg.Days < 0 {
+		panic("workload: Days must be non-negative")
+	}
+	schedules := make([]*network.Schedule, cfg.NumClients)
+	for i := range schedules {
+		schedules[i] = &network.Schedule{}
+	}
+	if cfg.DurationHours == 0 {
+		return schedules
+	}
+	durSec := cfg.DurationHours * SecondsPerHour
+	for c := 0; c < cfg.DisconnectedClients; c++ {
+		r := rng.Derive(cfg.Seed, 0xd15c0+uint64(c))
+		for day := 0; day < cfg.Days; day++ {
+			dayStart := float64(day) * SecondsPerDay
+			latest := SecondsPerDay - durSec
+			start := dayStart + r.Uniform(0, latest)
+			schedules[c].AddOutage(network.Outage{Start: start, End: start + durSec})
+		}
+	}
+	return schedules
+}

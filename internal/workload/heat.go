@@ -1,0 +1,299 @@
+// Package workload generates the paper's simulated workloads (§4): heat
+// distributions over database objects (SH, CSH, cyclic), associative and
+// navigational queries, Poisson and Bursty query arrival processes, the
+// per-access update probability, and the disconnection schedules of
+// Experiment #6.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/oodb"
+	"repro/internal/rng"
+)
+
+// HotFraction and HotAccessProb encode the 80/20 rule of the skewed heat
+// pattern: 20% of the objects absorb 80% of the accesses.
+const (
+	HotFraction   = 0.20
+	HotAccessProb = 0.80
+)
+
+// HeatModel selects which objects a query touches. Implementations are
+// deterministic functions of (seed, query index), so replays are exact.
+type HeatModel interface {
+	// Name identifies the model in tables ("sh", "csh-500", "cyclic").
+	Name() string
+	// Pick returns n distinct object ids accessed by query queryIndex.
+	Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID
+}
+
+// skewedHeat implements the SH pattern: a fixed random 20% hot set receives
+// 80% of accesses. Each client instantiates its own model (with its own
+// seed) so hot sets differ across clients, as §4 requires.
+type skewedHeat struct {
+	numObjects int
+	hot        []oodb.OID        // hot set, selection order
+	isHot      map[oodb.OID]bool // membership
+	cold       []oodb.OID        // complement
+}
+
+// NewSkewedHeat builds an SH model over numObjects objects using seed to
+// pick the hot set.
+func NewSkewedHeat(numObjects int, seed uint64) HeatModel {
+	return newSkewed(numObjects, rng.Derive(seed, 0x5ea7))
+}
+
+func newSkewed(numObjects int, r *rng.Stream) *skewedHeat {
+	if numObjects < 2 {
+		panic("workload: heat model needs at least 2 objects")
+	}
+	h := &skewedHeat{numObjects: numObjects, isHot: make(map[oodb.OID]bool)}
+	hotCount := int(float64(numObjects)*HotFraction + 0.5)
+	if hotCount < 1 {
+		hotCount = 1
+	}
+	for _, idx := range r.Sample(numObjects, hotCount) {
+		oid := oodb.OID(idx)
+		h.hot = append(h.hot, oid)
+		h.isHot[oid] = true
+	}
+	for i := 0; i < numObjects; i++ {
+		if !h.isHot[oodb.OID(i)] {
+			h.cold = append(h.cold, oodb.OID(i))
+		}
+	}
+	return h
+}
+
+func (h *skewedHeat) Name() string { return "sh" }
+
+func (h *skewedHeat) Pick(r *rng.Stream, n int, _ uint64) []oodb.OID {
+	return pickSkewed(r, n, h.hot, h.cold)
+}
+
+// pickSkewed draws n distinct OIDs, each independently from the hot set
+// with probability HotAccessProb, uniform within its set.
+func pickSkewed(r *rng.Stream, n int, hot, cold []oodb.OID) []oodb.OID {
+	if n > len(hot)+len(cold) {
+		panic(fmt.Sprintf("workload: query selectivity %d exceeds population %d",
+			n, len(hot)+len(cold)))
+	}
+	out := make([]oodb.OID, 0, n)
+	seen := make(map[oodb.OID]bool, n)
+	for len(out) < n {
+		var pool []oodb.OID
+		if r.Bool(HotAccessProb) && len(hot) > 0 {
+			pool = hot
+		} else {
+			pool = cold
+		}
+		if len(pool) == 0 {
+			pool = hot
+		}
+		oid := pool[r.Intn(len(pool))]
+		if !seen[oid] {
+			seen[oid] = true
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// changingSkewedHeat implements the CSH pattern: the 20% hot set is
+// re-selected every ChangeEvery queries. Hot sets per epoch are derived
+// deterministically from the seed, so the whole trajectory replays.
+type changingSkewedHeat struct {
+	numObjects  int
+	seed        uint64
+	changeEvery uint64
+	epoch       uint64
+	cur         *skewedHeat
+}
+
+// NewChangingSkewedHeat builds a CSH model whose hot set is reshuffled
+// every changeEvery queries (the paper's A_C parameter: 300, 500, 700).
+func NewChangingSkewedHeat(numObjects int, seed uint64, changeEvery int) HeatModel {
+	if changeEvery < 1 {
+		panic("workload: CSH change rate must be >= 1 query")
+	}
+	m := &changingSkewedHeat{
+		numObjects:  numObjects,
+		seed:        seed,
+		changeEvery: uint64(changeEvery),
+	}
+	m.cur = m.buildEpoch(0)
+	return m
+}
+
+func (m *changingSkewedHeat) buildEpoch(epoch uint64) *skewedHeat {
+	return newSkewed(m.numObjects, rng.Derive(m.seed, 0xc5b0000+epoch))
+}
+
+func (m *changingSkewedHeat) Name() string {
+	return fmt.Sprintf("csh-%d", m.changeEvery)
+}
+
+func (m *changingSkewedHeat) Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID {
+	if epoch := queryIndex / m.changeEvery; epoch != m.epoch {
+		m.epoch = epoch
+		m.cur = m.buildEpoch(epoch)
+	}
+	return m.cur.Pick(r, n, queryIndex)
+}
+
+// CyclicConfig parameterizes the cyclic access pattern of the LRU-k
+// evaluation ([14] in the paper): a *loop pool* of objects is revisited at
+// a fixed period — each query reads a window of the loop, the window
+// lingers for Burst consecutive queries (a burst of correlated references)
+// and then advances — while the rest of each query draws one-touch noise
+// from the remaining objects. Items therefore recur after a predictable
+// interval longer than a recency horizon polluted by the noise: LRU keeps
+// the useless noise and drops the loop; LRU-k and the duration-score
+// policies discriminate by reference history (Figure 6).
+type CyclicConfig struct {
+	// NumObjects is the database population.
+	NumObjects int
+	// LoopObjects is the loop pool size (default NumObjects/4).
+	LoopObjects int
+	// LoopPerQuery is how many loop objects each query reads (default 1/4
+	// of the query selectivity, set by the caller; must be >= 1).
+	LoopPerQuery int
+	// Burst is how many consecutive queries see the same loop window
+	// (default 3).
+	Burst int
+	// Seed shuffles which objects form the loop pool.
+	Seed uint64
+}
+
+type cyclicHeat struct {
+	loop         []oodb.OID
+	noise        []oodb.OID
+	loopPerQuery int
+	burst        uint64
+}
+
+// NewCyclicHeat builds the cyclic pattern.
+func NewCyclicHeat(cfg CyclicConfig) HeatModel {
+	if cfg.NumObjects < 8 {
+		panic("workload: cyclic heat needs at least 8 objects")
+	}
+	if cfg.LoopObjects == 0 {
+		cfg.LoopObjects = cfg.NumObjects / 4
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 3
+	}
+	if cfg.LoopPerQuery < 1 {
+		panic("workload: LoopPerQuery must be >= 1")
+	}
+	if cfg.LoopObjects < cfg.LoopPerQuery || cfg.LoopObjects >= cfg.NumObjects {
+		panic("workload: LoopObjects out of range")
+	}
+	r := rng.Derive(cfg.Seed, 0xcc11c)
+	perm := r.Perm(cfg.NumObjects)
+	h := &cyclicHeat{
+		loopPerQuery: cfg.LoopPerQuery,
+		burst:        uint64(cfg.Burst),
+	}
+	for i, idx := range perm {
+		if i < cfg.LoopObjects {
+			h.loop = append(h.loop, oodb.OID(idx))
+		} else {
+			h.noise = append(h.noise, oodb.OID(idx))
+		}
+	}
+	return h
+}
+
+func (m *cyclicHeat) Name() string { return "cyclic" }
+
+// Period returns the loop revisit period in queries.
+func (m *cyclicHeat) Period() uint64 {
+	return uint64(len(m.loop)/m.loopPerQuery) * m.burst
+}
+
+func (m *cyclicHeat) Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID {
+	out := make([]oodb.OID, 0, n)
+	// Loop window: advances every Burst queries, wraps around the pool.
+	k := m.loopPerQuery
+	if k > n {
+		k = n
+	}
+	start := int(queryIndex/m.burst) * m.loopPerQuery % len(m.loop)
+	for i := 0; i < k; i++ {
+		out = append(out, m.loop[(start+i)%len(m.loop)])
+	}
+	// Noise: distinct uniform draws from the non-loop pool.
+	rest := n - len(out)
+	if rest > len(m.noise) {
+		rest = len(m.noise)
+	}
+	for _, j := range r.Sample(len(m.noise), rest) {
+		out = append(out, m.noise[j])
+	}
+	return out
+}
+
+// sharedSkewedHeat models common interest across clients (§1 of the paper:
+// "items of interest to most mobile clients should be broadcast"): with
+// probability shareProb a pick comes from a *shared pool* that is
+// identical for every client; otherwise from the client's private SH
+// model over the remaining objects.
+type sharedSkewedHeat struct {
+	shared    []oodb.OID
+	shareProb float64
+	private   *skewedHeat
+}
+
+// SharedPool returns the common pool derived from (numObjects, seed,
+// poolSize): the same set for every client with the same arguments.
+func SharedPool(numObjects int, seed uint64, poolSize int) []oodb.OID {
+	if poolSize < 1 || poolSize >= numObjects {
+		panic("workload: shared pool size out of range")
+	}
+	r := rng.Derive(seed, 0x58a7ed)
+	idx := r.Sample(numObjects, poolSize)
+	out := make([]oodb.OID, poolSize)
+	for i, j := range idx {
+		out[i] = oodb.OID(j)
+	}
+	return out
+}
+
+// NewSharedSkewedHeat builds a heat model where all clients share a common
+// pool (drawn with probability shareProb, uniform within the pool) and
+// otherwise follow a private 80/20 pattern. seed selects the shared pool;
+// clientSeed differentiates the private hot sets.
+func NewSharedSkewedHeat(numObjects int, seed, clientSeed uint64,
+	poolSize int, shareProb float64) HeatModel {
+	if shareProb < 0 || shareProb > 1 {
+		panic("workload: shareProb out of [0,1]")
+	}
+	return &sharedSkewedHeat{
+		shared:    SharedPool(numObjects, seed, poolSize),
+		shareProb: shareProb,
+		private:   newSkewed(numObjects, rng.Derive(clientSeed, 0x5ea7)),
+	}
+}
+
+func (h *sharedSkewedHeat) Name() string { return "shared-sh" }
+
+func (h *sharedSkewedHeat) Pick(r *rng.Stream, n int, qi uint64) []oodb.OID {
+	out := make([]oodb.OID, 0, n)
+	seen := make(map[oodb.OID]bool, n)
+	for len(out) < n {
+		var oid oodb.OID
+		if r.Bool(h.shareProb) {
+			oid = h.shared[r.Intn(len(h.shared))]
+		} else {
+			picks := h.private.Pick(r, 1, qi)
+			oid = picks[0]
+		}
+		if !seen[oid] {
+			seen[oid] = true
+			out = append(out, oid)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/oodb"
+	"repro/internal/rng"
+)
+
+// Kind distinguishes the two query types of §4.
+type Kind int
+
+const (
+	// Associative queries (AQ) access Q_a primitive attributes of each
+	// selected object.
+	Associative Kind = iota
+	// Navigational queries (NQ) additionally traverse one inter-object
+	// relationship per selected object and access Q_a attributes of the
+	// related object, doubling the effective selectivity.
+	Navigational
+)
+
+// String renders the kind as the paper's abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case Associative:
+		return "AQ"
+	case Navigational:
+		return "NQ"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Defaults for query shape (§4; Table 1's Q_a column is garbled in the
+// source text — see DESIGN.md for the substitution rationale).
+const (
+	// DefaultSelectivity is 1% of the 2000-object database: 20 objects.
+	DefaultSelectivity = 20
+	// DefaultAttrsPerObject is Q_a, the primitive attributes accessed per
+	// selected object.
+	DefaultAttrsPerObject = 3
+	// DefaultAttrTheta skews the per-attribute access distribution
+	// ("uniform skewed ... all attributes have a non-zero access
+	// probability"): weights 1/rank^theta over the 9 primitive attributes.
+	DefaultAttrTheta = 1.0
+)
+
+// ReadOp is one attribute access performed by a query.
+type ReadOp struct {
+	OID  oodb.OID
+	Attr oodb.AttrID
+}
+
+// Query is one client query: the selected objects and the flattened list
+// of attribute reads (including reads on navigated objects for NQ).
+type Query struct {
+	Index   uint64
+	Kind    Kind
+	Objects []oodb.OID // objects selected by the predicate
+	Reads   []ReadOp   // attribute accesses, in evaluation order
+}
+
+// QueryGen produces the stream of queries a client issues.
+type QueryGen struct {
+	kind        Kind
+	heat        HeatModel
+	db          *oodb.Database
+	attrDist    *rng.Discrete
+	selectivity int
+	attrsPerObj int
+	count       uint64
+}
+
+// QueryGenConfig parameterizes a generator; zero values select defaults.
+type QueryGenConfig struct {
+	Kind          Kind
+	Heat          HeatModel
+	DB            *oodb.Database
+	Selectivity   int     // objects per query (default DefaultSelectivity)
+	AttrsPerObj   int     // Q_a (default DefaultAttrsPerObject)
+	AttrSkewTheta float64 // default DefaultAttrTheta
+}
+
+// NewQueryGen builds a generator. Heat and DB are required.
+func NewQueryGen(cfg QueryGenConfig) *QueryGen {
+	if cfg.Heat == nil {
+		panic("workload: QueryGen requires a heat model")
+	}
+	if cfg.DB == nil {
+		panic("workload: QueryGen requires a database")
+	}
+	sel := cfg.Selectivity
+	if sel <= 0 {
+		sel = DefaultSelectivity
+	}
+	qa := cfg.AttrsPerObj
+	if qa <= 0 {
+		qa = DefaultAttrsPerObject
+	}
+	if qa > oodb.NumPrimAttrs {
+		panic(fmt.Sprintf("workload: AttrsPerObj %d exceeds %d primitive attributes",
+			qa, oodb.NumPrimAttrs))
+	}
+	theta := cfg.AttrSkewTheta
+	if theta == 0 {
+		theta = DefaultAttrTheta
+	}
+	return &QueryGen{
+		kind:        cfg.Kind,
+		heat:        cfg.Heat,
+		db:          cfg.DB,
+		attrDist:    rng.NewDiscrete(rng.ZipfWeights(oodb.NumPrimAttrs, theta)),
+		selectivity: sel,
+		attrsPerObj: qa,
+	}
+}
+
+// Kind returns the generator's query type.
+func (g *QueryGen) Kind() Kind { return g.kind }
+
+// HeatName returns the underlying heat model name.
+func (g *QueryGen) HeatName() string { return g.heat.Name() }
+
+// Count returns the number of queries generated so far.
+func (g *QueryGen) Count() uint64 { return g.count }
+
+// Next generates the next query using the client's stream r.
+func (g *QueryGen) Next(r *rng.Stream) Query {
+	q := Query{Index: g.count, Kind: g.kind}
+	g.count++
+	q.Objects = g.heat.Pick(r, g.selectivity, q.Index)
+	for _, oid := range q.Objects {
+		for _, attr := range g.pickAttrs(r) {
+			q.Reads = append(q.Reads, ReadOp{OID: oid, Attr: attr})
+		}
+		if g.kind == Navigational {
+			// Traverse one relationship (Q_r = 1) and access Q_a
+			// attributes of the related object.
+			rel := r.Intn(oodb.NumRelAttrs)
+			target := g.db.Relationship(oid, rel)
+			for _, attr := range g.pickAttrs(r) {
+				q.Reads = append(q.Reads, ReadOp{OID: target, Attr: attr})
+			}
+		}
+	}
+	return q
+}
+
+// pickAttrs draws Q_a distinct primitive attributes from the skewed
+// distribution.
+func (g *QueryGen) pickAttrs(r *rng.Stream) []oodb.AttrID {
+	out := make([]oodb.AttrID, 0, g.attrsPerObj)
+	var seen [oodb.NumPrimAttrs]bool
+	for len(out) < g.attrsPerObj {
+		a := oodb.AttrID(g.attrDist.Draw(r))
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// DistinctObjects returns the number of distinct objects a query touches
+// (selected plus navigated).
+func (q *Query) DistinctObjects() int {
+	seen := make(map[oodb.OID]bool)
+	for _, rd := range q.Reads {
+		seen[rd.OID] = true
+	}
+	return len(seen)
+}
