@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel runner and the kernel handoff discipline are the two places
+# concurrency lives; keep them race-clean.
+race:
+	$(GO) test -race ./internal/experiment ./internal/sim
+
+# Tier-1 verify: what every PR must keep green.
+verify: build vet test race
+
+# Kernel micro-benchmarks + the parallel sweep benchmark, with allocation
+# counts; machine-readable results land in BENCH_kernel.json.
+# Tune with BENCH_TIME (go -benchtime) and BENCH_COUNT (go -count).
+bench:
+	scripts/bench.sh
+
+clean:
+	rm -f BENCH_kernel.json

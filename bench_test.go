@@ -60,6 +60,42 @@ func BenchmarkTable1_Defaults(b *testing.B) {
 	reportRun(b, benchBase())
 }
 
+// BenchmarkFullSweep executes a 16-config slice of the evaluation (the
+// Exp3 policy lineup under both arrival patterns, plus the Exp1
+// granularity row) on the parallel Runner at increasing pool sizes.
+// serial is the workers=1 baseline; on an N-core machine the sweep's
+// wall-clock should shrink roughly N-fold (each run is an independent
+// simulation), while the reported tables stay byte-identical — see
+// TestParallelSerialEquivalenceExp1.
+func BenchmarkFullSweep(b *testing.B) {
+	var cfgs []experiment.Config
+	for _, arrival := range []experiment.ArrivalKind{experiment.PoissonArrival, experiment.BurstyArrival} {
+		for _, pol := range []string{"lru", "lru-3", "lrd", "mean", "win-10", "ewma-0.5"} {
+			cfg := benchBase()
+			cfg.Arrival = arrival
+			cfg.Policy = pol
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	for _, g := range core.Granularities() {
+		cfg := benchBase()
+		cfg.Granularity = g
+		cfgs = append(cfgs, cfg)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiment.Runner{Workers: workers}.RunBatch(cfgs)
+			}
+			b.ReportMetric(float64(len(cfgs)), "runs")
+		})
+	}
+}
+
 // BenchmarkExp1_Fig2 — Figure 2: caching granularity (NC/AC/OC/HC) under
 // both query kinds; U = 0.1, EWMA-0.5, Poisson arrivals.
 func BenchmarkExp1_Fig2(b *testing.B) {

@@ -13,6 +13,9 @@
 //	mcsim -exp all        # everything
 //
 // Add -quick for a reduced-scale pass (shorter horizon, sparser grids).
+// Sweeps execute on a worker pool, one independent simulation per CPU by
+// default; -parallel N overrides the pool size (-parallel 1 forces the old
+// serial behaviour — tables are identical either way).
 //
 // Run one custom configuration:
 //
@@ -36,9 +39,10 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "experiment to regenerate: 1..6, table1, or all")
-		quick   = flag.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
-		runOne  = flag.Bool("run", false, "run a single custom configuration")
+		expFlag  = flag.String("exp", "", "experiment to regenerate: 1..6, table1, or all")
+		quick    = flag.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
+		runOne   = flag.Bool("run", false, "run a single custom configuration")
+		parallel = flag.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
 
 		days    = flag.Float64("days", 0, "simulated days (0 = experiment default)")
 		seed    = flag.Uint64("seed", 1, "root random seed")
@@ -65,6 +69,7 @@ func main() {
 		bcastAttrs  = flag.Int("broadcast", 0, "broadcast the shared pool's top-N attrs (requires -shared)")
 	)
 	flag.Parse()
+	experiment.SetDefaultWorkers(*parallel)
 
 	switch {
 	case *runOne:

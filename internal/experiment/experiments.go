@@ -31,8 +31,13 @@ func adaptivePolicies() []string {
 
 // Exp1 — Figure 2: caching granularity (NC/AC/OC/HC) across query type,
 // arrival pattern, and heat distribution; U = 0.1, 10 clients, EWMA-0.5.
+//
+// Like every Exp* sweep, the runs are enqueued first and executed on the
+// default worker pool (see Runner); the table-building continuations fire
+// in submission order, so the output is identical to a serial loop.
 func Exp1(base Config) *Report {
 	rep := &Report{Name: "exp1"}
+	var b batch
 	for _, kind := range []workload.Kind{workload.Associative, workload.Navigational} {
 		for _, arrival := range []ArrivalKind{PoissonArrival, BurstyArrival} {
 			for _, heat := range []HeatKind{SkewedHeat, ChangingSkewedHeat} {
@@ -40,6 +45,7 @@ func Exp1(base Config) *Report {
 					fmt.Sprintf("Figure 2 — %s, %s arrivals, %s heat",
 						kind, arrivalName(arrival), heatTag(heat, 500)),
 					"granularity", "hit%", "resp(s)", "err%", "queries")
+				rep.Tables = append(rep.Tables, tbl)
 				for _, g := range core.Granularities() {
 					cfg := merge(base, func(c *Config) {
 						c.Label = fmt.Sprintf("exp1/%s/%s/%s/%s",
@@ -51,15 +57,15 @@ func Exp1(base Config) *Report {
 						c.UpdateProb = 0.1
 						c.Policy = "ewma-0.5"
 					})
-					res := Run(cfg)
-					rep.Results = append(rep.Results, res)
-					tbl.Add(g.String(), pct(res.HitRatio), secs(res.MeanResponse),
-						pct(res.ErrorRate), fmt.Sprint(res.QueriesIssued))
+					b.add(cfg, func(res Result) {
+						tbl.Add(g.String(), pct(res.HitRatio), secs(res.MeanResponse),
+							pct(res.ErrorRate), fmt.Sprint(res.QueriesIssued))
+					})
 				}
-				rep.Tables = append(rep.Tables, tbl)
 			}
 		}
 	}
+	b.collect(rep)
 	return rep
 }
 
@@ -67,12 +73,14 @@ func Exp1(base Config) *Report {
 // (U = 0), a single client, hybrid caching.
 func Exp2(base Config) *Report {
 	rep := &Report{Name: "exp2"}
+	var b batch
 	for _, kind := range []workload.Kind{workload.Associative, workload.Navigational} {
 		for _, heat := range []HeatKind{SkewedHeat, ChangingSkewedHeat} {
 			tbl := NewTable(
 				fmt.Sprintf("Figure 3 — %s, %s heat (U=0, 1 client, HC)",
 					kind, heatTag(heat, 500)),
 				"policy", "hit%", "resp(s)", "queries")
+			rep.Tables = append(rep.Tables, tbl)
 			for _, pol := range standardPolicies() {
 				cfg := merge(base, func(c *Config) {
 					c.Label = fmt.Sprintf("exp2/%s/%s/%s", pol, kind, heatTag(heat, 500))
@@ -83,14 +91,14 @@ func Exp2(base Config) *Report {
 					c.Policy = pol
 					c.NumClients = 1
 				})
-				res := Run(cfg)
-				rep.Results = append(rep.Results, res)
-				tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse),
-					fmt.Sprint(res.QueriesIssued))
+				b.add(cfg, func(res Result) {
+					tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse),
+						fmt.Sprint(res.QueriesIssued))
+				})
 			}
-			rep.Tables = append(rep.Tables, tbl)
 		}
 	}
+	b.collect(rep)
 	return rep
 }
 
@@ -98,6 +106,7 @@ func Exp2(base Config) *Report {
 // U = 0.1, 10 clients, both arrival patterns.
 func Exp3(base Config) *Report {
 	rep := &Report{Name: "exp3"}
+	var b batch
 	for _, kind := range []workload.Kind{workload.Associative, workload.Navigational} {
 		for _, arrival := range []ArrivalKind{PoissonArrival, BurstyArrival} {
 			for _, heat := range []HeatKind{SkewedHeat, ChangingSkewedHeat} {
@@ -105,6 +114,7 @@ func Exp3(base Config) *Report {
 					fmt.Sprintf("Figure 4 — %s, %s arrivals, %s heat (U=0.1, 10 clients, HC)",
 						kind, arrivalName(arrival), heatTag(heat, 500)),
 					"policy", "hit%", "resp(s)", "err%")
+				rep.Tables = append(rep.Tables, tbl)
 				for _, pol := range standardPolicies() {
 					cfg := merge(base, func(c *Config) {
 						c.Label = fmt.Sprintf("exp3/%s/%s/%s/%s",
@@ -116,14 +126,14 @@ func Exp3(base Config) *Report {
 						c.UpdateProb = 0.1
 						c.Policy = pol
 					})
-					res := Run(cfg)
-					rep.Results = append(rep.Results, res)
-					tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse), pct(res.ErrorRate))
+					b.add(cfg, func(res Result) {
+						tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse), pct(res.ErrorRate))
+					})
 				}
-				rep.Tables = append(rep.Tables, tbl)
 			}
 		}
 	}
+	b.collect(rep)
 	return rep
 }
 
@@ -131,11 +141,13 @@ func Exp3(base Config) *Report {
 // 500, 700 queries (AQ, Poisson, U=0.1, HC).
 func Exp4(base Config) *Report {
 	rep := &Report{Name: "exp4"}
+	var b batch
 	for _, changeEvery := range []int{300, 500, 700} {
 		tbl := NewTable(
 			fmt.Sprintf("Figure 5 — CSH change rate %d queries (AQ, Poisson, U=0.1, HC)",
 				changeEvery),
 			"policy", "hit%", "resp(s)")
+		rep.Tables = append(rep.Tables, tbl)
 		for _, pol := range adaptivePolicies() {
 			cfg := merge(base, func(c *Config) {
 				c.Label = fmt.Sprintf("exp4/%s/csh-%d", pol, changeEvery)
@@ -146,12 +158,12 @@ func Exp4(base Config) *Report {
 				c.UpdateProb = 0.1
 				c.Policy = pol
 			})
-			res := Run(cfg)
-			rep.Results = append(rep.Results, res)
-			tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse))
+			b.add(cfg, func(res Result) {
+				tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse))
+			})
 		}
-		rep.Tables = append(rep.Tables, tbl)
 	}
+	b.collect(rep)
 	return rep
 }
 
@@ -159,8 +171,10 @@ func Exp4(base Config) *Report {
 // pattern of the LRU-k evaluation.
 func Exp4Cyclic(base Config) *Report {
 	rep := &Report{Name: "exp4-cyclic"}
+	var b batch
 	tbl := NewTable("Figure 6 — cyclic access pattern (AQ, Poisson, U=0.1, HC)",
 		"policy", "hit%", "resp(s)")
+	rep.Tables = append(rep.Tables, tbl)
 	for _, pol := range adaptivePolicies() {
 		cfg := merge(base, func(c *Config) {
 			c.Label = "exp4-cyclic/" + pol
@@ -170,11 +184,11 @@ func Exp4Cyclic(base Config) *Report {
 			c.UpdateProb = 0.1
 			c.Policy = pol
 		})
-		res := Run(cfg)
-		rep.Results = append(rep.Results, res)
-		tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse))
+		b.add(cfg, func(res Result) {
+			tbl.Add(pol, pct(res.HitRatio), secs(res.MeanResponse))
+		})
 	}
-	rep.Tables = append(rep.Tables, tbl)
+	b.collect(rep)
 	return rep
 }
 
@@ -183,9 +197,11 @@ func Exp4Cyclic(base Config) *Report {
 // and staleness tolerance β ∈ {−1,0,1} (AQ, Poisson, SH, EWMA-0.5).
 func Exp5(base Config) *Report {
 	rep := &Report{Name: "exp5"}
+	var b batch
 	for _, beta := range []float64{-1, 0, 1} {
 		tbl := NewTable(fmt.Sprintf("Figure 7 — beta = %g (AQ, Poisson, SH, EWMA-0.5)", beta),
 			"granularity", "U", "err%", "hit%", "resp(s)")
+		rep.Tables = append(rep.Tables, tbl)
 		for _, g := range []core.Granularity{core.AttributeCaching, core.ObjectCaching, core.HybridCaching} {
 			for _, u := range []float64{0.1, 0.3, 0.5} {
 				cfg := merge(base, func(c *Config) {
@@ -197,13 +213,13 @@ func Exp5(base Config) *Report {
 					c.Beta = beta
 					c.Policy = "ewma-0.5"
 				})
-				res := Run(cfg)
-				rep.Results = append(rep.Results, res)
-				tbl.Addf(g.String(), u, 100*res.ErrorRate, 100*res.HitRatio, res.MeanResponse)
+				b.add(cfg, func(res Result) {
+					tbl.Addf(g.String(), u, 100*res.ErrorRate, 100*res.HitRatio, res.MeanResponse)
+				})
 			}
 		}
-		rep.Tables = append(rep.Tables, tbl)
 	}
+	b.collect(rep)
 	return rep
 }
 
@@ -227,14 +243,20 @@ func exp6(base Config, durations []float64, disconnected []int) *Report {
 		d float64
 	}
 	errRates := make(map[key]float64)
+	var b batch
 	grans := []core.Granularity{core.AttributeCaching, core.ObjectCaching, core.HybridCaching}
 	for _, g := range grans {
 		tbl := NewTable(
 			fmt.Sprintf("Figure 8 — error rate %% under disconnection, %s (rows: V, cols: D hours)", g),
 			append([]string{"V\\D"}, floatHeaders(durations)...)...)
+		rep.Tables = append(rep.Tables, tbl)
 		for _, v := range disconnected {
-			row := []string{fmt.Sprint(v)}
-			for _, d := range durations {
+			// The row is appended to the table now and its cells are filled
+			// in place by the continuations during collect.
+			row := make([]string, 1+len(durations))
+			row[0] = fmt.Sprint(v)
+			tbl.Rows = append(tbl.Rows, row)
+			for di, d := range durations {
 				cfg := merge(base, func(c *Config) {
 					c.Label = fmt.Sprintf("exp6/%s/V=%d/D=%g", g, v, d)
 					c.Granularity = g
@@ -245,15 +267,14 @@ func exp6(base Config, durations []float64, disconnected []int) *Report {
 					c.DisconnectedClients = v
 					c.DisconnectHours = d
 				})
-				res := Run(cfg)
-				rep.Results = append(rep.Results, res)
-				errRates[key{g, v, d}] = res.ErrorRate
-				row = append(row, pct(res.ErrorRate))
+				b.add(cfg, func(res Result) {
+					errRates[key{g, v, d}] = res.ErrorRate
+					row[1+di] = pct(res.ErrorRate)
+				})
 			}
-			tbl.Rows = append(tbl.Rows, row)
 		}
-		rep.Tables = append(rep.Tables, tbl)
 	}
+	b.collect(rep)
 	// Panel (d): error rate against V at fixed D (5h when present, else the
 	// middle of the grid).
 	dFix := durations[len(durations)/2]

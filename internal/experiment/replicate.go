@@ -23,16 +23,21 @@ type Replicated struct {
 }
 
 // Replicate runs cfg under n different seeds (cfg.Seed, cfg.Seed+1, ...)
-// and aggregates the three headline metrics. It panics if n < 1.
+// and aggregates the three headline metrics. The replicas execute on the
+// default worker pool (see Runner); results and summary statistics are
+// accumulated in seed order, so the output matches a serial loop exactly.
+// It panics if n < 1.
 func Replicate(cfg Config, n int) *Replicated {
 	if n < 1 {
 		panic("experiment: Replicate requires n >= 1")
 	}
 	rep := &Replicated{Config: Defaults(cfg), Replicas: n}
+	cfgs := make([]Config, n)
 	for i := 0; i < n; i++ {
-		run := cfg
-		run.Seed = cfg.Seed + uint64(i)
-		res := Run(run)
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + uint64(i)
+	}
+	for _, res := range (Runner{Workers: defaultWorkers}).RunBatch(cfgs) {
 		rep.Results = append(rep.Results, res)
 		rep.HitRatio.Add(res.HitRatio)
 		rep.MeanResponse.Add(res.MeanResponse)

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Runner executes batches of independent simulation runs on a worker pool.
+// Each run owns its kernel, RNG streams, and metric sinks (see Run), so
+// concurrent execution cannot perturb results: RunBatch returns exactly the
+// Result slice a serial loop over the configs would produce, in submission
+// order, for any worker count. The paper's evaluation is ~200 such runs;
+// the sweep is embarrassingly parallel and scales with cores.
+type Runner struct {
+	// Workers is the number of concurrent simulations; values < 1 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// effectiveWorkers resolves the worker count.
+func (r Runner) effectiveWorkers() int {
+	if r.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// RunBatch executes every config and returns the results in submission
+// order. A panic inside any run (e.g. an invalid policy spec) is re-raised
+// on the caller's goroutine, annotated with the config that caused it;
+// remaining in-flight runs finish first.
+func (r Runner) RunBatch(cfgs []Config) []Result {
+	results := make([]Result, len(cfgs))
+	workers := r.effectiveWorkers()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	// A Tracer is shared mutable state across runs: concurrent execution
+	// would interleave (and race on) its records. Keep traced batches
+	// serial so the trace stays byte-identical to the sequential order.
+	for _, cfg := range cfgs {
+		if cfg.Tracer != nil {
+			workers = 1
+			break
+		}
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			results[i] = Run(cfg)
+		}
+		return results
+	}
+
+	type failure struct {
+		idx int
+		cfg Config
+		err interface{}
+	}
+	jobs := make(chan int)
+	failures := make(chan failure, len(cfgs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							failures <- failure{idx: i, cfg: cfgs[i], err: rec}
+						}
+					}()
+					results[i] = Run(cfgs[i])
+				}()
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(failures)
+
+	var first *failure
+	for f := range failures {
+		f := f
+		if first == nil || f.idx < first.idx {
+			first = &f
+		}
+	}
+	if first != nil {
+		panic(fmt.Sprintf("experiment: run %d (%s) panicked: %v",
+			first.idx, first.cfg, first.err))
+	}
+	return results
+}
+
+// defaultWorkers is the pool size the Exp* sweeps and Replicate use; it is
+// what `mcsim -parallel N` sets. Zero selects runtime.GOMAXPROCS(0).
+var defaultWorkers int
+
+// SetDefaultWorkers sets the worker count used by the experiment sweeps
+// (Exp1..Exp6, Replicate). n < 1 restores the default, one worker per
+// available CPU. It returns the previous setting so tests can restore it.
+func SetDefaultWorkers(n int) int {
+	prev := defaultWorkers
+	if n < 1 {
+		n = 0
+	}
+	defaultWorkers = n
+	return prev
+}
+
+// DefaultWorkers reports the effective sweep worker count.
+func DefaultWorkers() int {
+	return Runner{Workers: defaultWorkers}.effectiveWorkers()
+}
+
+// batch accumulates configs during an experiment's enqueue pass and the
+// per-result continuations that build its tables. collect runs the whole
+// batch on the default worker pool and then applies the continuations in
+// submission order, so the emitted tables are byte-identical to what the
+// old serial loops produced no matter how many workers raced underneath.
+type batch struct {
+	cfgs []Config
+	then []func(Result)
+}
+
+// add enqueues one run; then (optional) consumes its Result during collect.
+func (b *batch) add(cfg Config, then func(Result)) {
+	b.cfgs = append(b.cfgs, cfg)
+	b.then = append(b.then, then)
+}
+
+// collect executes the batch, appends every Result to rep in submission
+// order, and invokes the continuations.
+func (b *batch) collect(rep *Report) {
+	results := Runner{Workers: defaultWorkers}.RunBatch(b.cfgs)
+	for i, res := range results {
+		if rep != nil {
+			rep.Results = append(rep.Results, res)
+		}
+		if b.then[i] != nil {
+			b.then[i](res)
+		}
+	}
+}

@@ -15,12 +15,23 @@
 // Events at equal timestamps are dispatched in schedule order. Simulations
 // are therefore exactly reproducible for a given seed, which the tests and
 // EXPERIMENTS.md rely on.
+//
+// Performance: the future event list is a concrete binary heap over
+// []event values — no per-event heap allocation and no interface boxing on
+// the push/pop path (container/heap costs one *event allocation plus an
+// interface conversion per event). The heap's backing array doubles as the
+// event free-list: pops only shrink the length, so the storage of retired
+// events is reused by subsequent pushes, and Drain keeps the capacity for
+// kernels that are reused across Run calls. Process handoffs use cap-1
+// channels; the strict alternation discipline means at most one token is
+// ever in flight per channel, so sends never block and each kernel<->proc
+// switch costs a single blocking rendezvous (the receive) instead of two.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // event is a future-event-list entry: either "resume proc" or "call fn".
@@ -31,42 +42,33 @@ type event struct {
 	fn   func()
 }
 
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e sorts ahead of f on the future event list:
+// min (at, seq). seq is unique, so the order is total.
+func (e *event) before(f *event) bool {
+	if e.at != f.at {
+		return e.at < f.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < f.seq
 }
 
 // Kernel drives a single simulation run. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	yield  chan struct{}
-	live   map[*Proc]struct{}
-	nsteps uint64
+	now     float64
+	seq     uint64
+	events  []event // binary min-heap on (at, seq)
+	yield   chan struct{}
+	live    map[*Proc]struct{}
+	nsteps  uint64
+	procSeq uint64 // spawn sequence; gives Drain a deterministic order
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty event list.
 func NewKernel() *Kernel {
 	return &Kernel{
-		yield: make(chan struct{}),
+		// cap 1: the kernel<->proc alternation keeps at most one token in
+		// flight, so yields never block the sender.
+		yield: make(chan struct{}, 1),
 		live:  make(map[*Proc]struct{}),
 	}
 }
@@ -78,13 +80,58 @@ func (k *Kernel) Now() float64 { return k.now }
 // kernel benchmarks and runaway-simulation guards in tests.
 func (k *Kernel) Steps() uint64 { return k.nsteps }
 
+// push appends ev to the heap and restores the heap invariant (sift-up).
+func (k *Kernel) push(ev event) {
+	h := append(k.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.events = h
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated tail
+// slot is zeroed so retired closures and procs are collectable; the backing
+// array itself is retained as the free-list for future pushes.
+func (k *Kernel) pop() event {
+	h := k.events
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h[right].before(&h[left]) {
+			least = right
+		}
+		if !h[least].before(&h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	k.events = h
+	return min
+}
+
 // schedule appends an event to the future event list.
 func (k *Kernel) schedule(at float64, p *Proc, fn func()) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (at=%g, now=%g)", at, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, proc: p, fn: fn})
+	k.push(event{at: at, seq: k.seq, proc: p, fn: fn})
 }
 
 // After schedules fn to run at now+d in kernel context. fn must not block;
@@ -120,11 +167,13 @@ func (k *Kernel) SpawnAt(t float64, name string, body func(*Proc)) *Proc {
 	if t < k.now {
 		t = k.now
 	}
+	k.procSeq++
 	p := &Proc{
 		kernel: k,
 		name:   name,
 		body:   body,
-		resume: make(chan struct{}),
+		seq:    k.procSeq,
+		resume: make(chan struct{}, 1),
 	}
 	k.live[p] = struct{}{}
 	k.schedule(t, p, nil)
@@ -140,7 +189,7 @@ func (k *Kernel) Run(until float64) float64 {
 			k.now = until
 			return k.now
 		}
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.pop()
 		k.now = ev.at
 		k.nsteps++
 		switch {
@@ -168,10 +217,17 @@ func (k *Kernel) RunAll() float64 { return k.Run(math.Inf(1)) }
 
 // Drain terminates every live process. Suspended processes are woken with a
 // kill flag and unwind via a recovered panic; processes that have not yet
-// started are simply discarded. Call it once per simulation after Run so no
+// started are simply discarded. Processes are killed in spawn order, so the
+// side effects of kill-unwind (deferred cleanup, resource releases) are
+// reproducible run to run. Call it once per simulation after Run so no
 // goroutines outlive the run.
 func (k *Kernel) Drain() {
+	procs := make([]*Proc, 0, len(k.live))
 	for p := range k.live {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].seq < procs[j].seq })
+	for _, p := range procs {
 		if p.done {
 			delete(k.live, p)
 			continue
@@ -183,8 +239,13 @@ func (k *Kernel) Drain() {
 		}
 		delete(k.live, p)
 	}
-	// Discard the remaining future events; the simulation is over.
-	k.events = nil
+	// Discard the remaining future events; the simulation is over. The
+	// backing array is kept (length 0) so a reused kernel starts with a
+	// warm free-list.
+	for i := range k.events {
+		k.events[i] = event{}
+	}
+	k.events = k.events[:0]
 }
 
 // LiveProcs reports the number of processes that have been spawned and have

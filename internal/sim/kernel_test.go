@@ -3,8 +3,10 @@ package sim
 import (
 	"math"
 	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestClockStartsAtZero(t *testing.T) {
@@ -345,5 +347,113 @@ func TestManyProcsStress(t *testing.T) {
 	}
 	if k.LiveProcs() != 0 {
 		t.Fatalf("LiveProcs = %d", k.LiveProcs())
+	}
+}
+
+func TestDrainKillOrderIsSpawnOrder(t *testing.T) {
+	// Drain must kill suspended processes in spawn order, not map order, so
+	// kill-unwind side effects (deferred cleanup, resource releases) are
+	// reproducible run to run.
+	for trial := 0; trial < 20; trial++ {
+		k := NewKernel()
+		var killed []int
+		for i := 0; i < 50; i++ {
+			k.Spawn("p", func(p *Proc) {
+				defer func() { killed = append(killed, i) }()
+				p.Hold(1e9)
+			})
+		}
+		k.Run(10)
+		k.Drain()
+		if len(killed) != 50 {
+			t.Fatalf("trial %d: killed %d procs, want 50", trial, len(killed))
+		}
+		for i, got := range killed {
+			if got != i {
+				t.Fatalf("trial %d: kill order %v, want spawn order", trial, killed)
+			}
+		}
+	}
+}
+
+func TestDrainRetainsHeapCapacity(t *testing.T) {
+	// The event free-list: Drain empties the future event list but keeps
+	// the backing array for kernels reused across Run calls.
+	k := NewKernel()
+	for i := 0; i < 100; i++ {
+		k.After(float64(i)+1e6, func() {})
+	}
+	before := cap(k.events)
+	k.Drain()
+	if len(k.events) != 0 {
+		t.Fatalf("events after Drain = %d, want 0", len(k.events))
+	}
+	if cap(k.events) != before {
+		t.Fatalf("heap capacity %d after Drain, want %d retained", cap(k.events), before)
+	}
+}
+
+func TestHeapOrderRandomized(t *testing.T) {
+	// The inlined binary heap must dispatch in exact (at, seq) order for
+	// adversarial schedules, same as container/heap did.
+	f := func(times []uint16) bool {
+		k := NewKernel()
+		var got []float64
+		for _, raw := range times {
+			at := float64(raw % 256)
+			k.After(at, func() { got = append(got, at) })
+		}
+		k.RunAll()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoGoroutineLeakAfterDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		k := NewKernel()
+		r := NewResource(k, "chan", 1)
+		for i := 0; i < 100; i++ {
+			k.SpawnAt(float64(i%13), "p", func(p *Proc) {
+				for {
+					r.Use(p, 1)
+					p.Hold(0.5)
+				}
+			})
+		}
+		k.Run(200)
+		k.Drain()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// baseline (process goroutines unwind asynchronously after Drain returns).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines stuck above baseline %d (now %d):\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -15,6 +15,7 @@ type Proc struct {
 	kernel  *Kernel
 	name    string
 	body    func(*Proc)
+	seq     uint64 // spawn order; Drain kills in this order
 	resume  chan struct{}
 	started bool
 	done    bool

@@ -8,12 +8,20 @@ package sim
 //
 // A Resource also accumulates utilization and queueing statistics so
 // experiments can report channel utilization alongside the paper's metrics.
+// waiter is one queued process and the time it joined the queue (for wait
+// statistics). Keeping the timestamp inline avoids a map operation per
+// contended acquire on the hot path.
+type waiter struct {
+	proc  *Proc
+	since float64
+}
+
 type Resource struct {
 	name     string
 	kernel   *Kernel
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  []waiter
 
 	// statistics
 	acquires      uint64
@@ -21,7 +29,6 @@ type Resource struct {
 	queueArea     float64 // integral of queue length over time
 	lastStatTime  float64
 	totalWaitTime float64
-	enqueueTime   map[*Proc]float64
 }
 
 // NewResource creates a facility with the given capacity (servers).
@@ -30,10 +37,9 @@ func NewResource(k *Kernel, name string, capacity int) *Resource {
 		panic("sim: NewResource with non-positive capacity")
 	}
 	return &Resource{
-		name:        name,
-		kernel:      k,
-		capacity:    capacity,
-		enqueueTime: make(map[*Proc]float64),
+		name:     name,
+		kernel:   k,
+		capacity: capacity,
 	}
 }
 
@@ -56,11 +62,10 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
-	r.enqueueTime[p] = r.kernel.now
+	since := r.kernel.now
+	r.waiters = append(r.waiters, waiter{proc: p, since: since})
 	p.yield() // resumed by Release
-	r.totalWaitTime += r.kernel.now - r.enqueueTime[p]
-	delete(r.enqueueTime, p)
+	r.totalWaitTime += r.kernel.now - since
 }
 
 // Release frees one unit. If processes are queued the unit is handed to the
@@ -74,10 +79,11 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = waiter{}
 		r.waiters = r.waiters[:len(r.waiters)-1]
 		// Hand the slot over; wake the waiter through the event list so
 		// same-time wakeups keep deterministic FIFO order.
-		r.kernel.schedule(r.kernel.now, w, nil)
+		r.kernel.schedule(r.kernel.now, w.proc, nil)
 		return
 	}
 	r.inUse--

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance-engine benchmarks and record the results.
+#
+# Runs the kernel micro-benchmarks (ns/event and allocs/event of the
+# discrete-event core) and the parallel sweep benchmark (wall-clock of a
+# 16-config evaluation slice at pool sizes 1/2/4/8) with -benchmem, prints
+# the usual go test output, and writes a machine-readable summary to
+# BENCH_kernel.json at the repo root.
+#
+# Environment knobs:
+#   BENCH_TIME   go -benchtime for the kernel benches (default 200x)
+#   BENCH_COUNT  go -count repetitions               (default 1)
+#   SKIP_SWEEP   non-empty skips the (slow) full-sweep benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_TIME="${BENCH_TIME:-200x}"
+BENCH_COUNT="${BENCH_COUNT:-1}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Kernel' -benchmem \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/sim | tee "$raw"
+
+if [ -z "${SKIP_SWEEP:-}" ]; then
+    go test -run '^$' -bench 'FullSweep' -benchtime 1x . | tee -a "$raw"
+fi
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip the -GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      entry = entry sprintf(", \"bytes_per_op\": %s", $(i - 1))
+        if ($i == "allocs/op") entry = entry sprintf(", \"allocs_per_op\": %s", $(i - 1))
+    }
+    entry = entry "}"
+    entries[++n] = entry
+}
+END {
+    printf("{\n  \"date\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, goos, goarch, cpu)
+    for (i = 1; i <= n; i++)
+        printf("%s%s\n", entries[i], i < n ? "," : "")
+    printf("  ]\n}\n")
+}' "$raw" > BENCH_kernel.json
+
+echo "wrote BENCH_kernel.json ($(grep -c '"name"' BENCH_kernel.json) benchmarks)"
