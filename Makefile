@@ -19,11 +19,12 @@ race:
 # Tier-1 verify: what every PR must keep green.
 verify: build vet test race
 
-# Kernel micro-benchmarks + the parallel sweep benchmark, with allocation
-# counts; machine-readable results land in BENCH_kernel.json.
-# Tune with BENCH_TIME (go -benchtime) and BENCH_COUNT (go -count).
+# Kernel micro-benchmarks + the parallel sweep benchmark + the replacement
+# model suite, with allocation counts; machine-readable results land in
+# BENCH_kernel.json and BENCH_model.json.
+# Tune with BENCH_TIME / BENCH_MODEL_TIME (go -benchtime) and BENCH_COUNT.
 bench:
 	scripts/bench.sh
 
 clean:
-	rm -f BENCH_kernel.json
+	rm -f BENCH_kernel.json BENCH_model.json

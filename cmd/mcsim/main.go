@@ -67,9 +67,21 @@ func main() {
 		sharedHot   = flag.Int("shared", 0, "shared interest pool size in objects (0 = none)")
 		shareProb   = flag.Float64("shareprob", 0, "probability a pick comes from the shared pool")
 		bcastAttrs  = flag.Int("broadcast", 0, "broadcast the shared pool's top-N attrs (requires -shared)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	experiment.SetDefaultWorkers(*parallel)
+
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	// Note: fatal() exits without running deferred calls, so profiles are
+	// only written on successful runs.
+	defer stopProfiling()
 
 	switch {
 	case *runOne:

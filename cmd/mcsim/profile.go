@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiling wires up the optional profiling sinks: a CPU profile
+// written for the whole run, a heap profile captured at exit, and a live
+// net/http/pprof endpoint. The returned stop function finalizes the
+// profiles; it is a no-op when no sink was requested. Runs that abort via
+// fatal() skip the stop function, so profiles are only complete on
+// successful exits.
+func startProfiling(cpuFile, memFile, addr string) (stop func(), err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if addr != "" {
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mcsim: pprof server:", err)
+			}
+		}()
+	}
+	return func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if memFile != "" {
+			out, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcsim: memprofile:", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintln(os.Stderr, "mcsim: memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -16,6 +16,7 @@ type LRU[K comparable, V any] struct {
 	entries  map[K]*node[K, V]
 	head     *node[K, V] // most recently used
 	tail     *node[K, V] // least recently used
+	spare    *node[K, V] // last evicted/removed node, recycled by Put
 
 	hits   uint64
 	misses uint64
@@ -81,14 +82,22 @@ func (l *LRU[K, V]) Put(key K, value V) (evictedKey K, evictedValue V, evicted b
 		l.moveToFront(n)
 		return evictedKey, evictedValue, false
 	}
-	n := &node[K, V]{key: key, value: value}
+	n := l.spare
+	if n != nil {
+		l.spare = nil
+		n.key, n.value = key, value
+	} else {
+		n = &node[K, V]{key: key, value: value}
+	}
 	l.entries[key] = n
 	l.pushFront(n)
 	if len(l.entries) > l.capacity {
 		victim := l.tail
 		l.unlink(victim)
 		delete(l.entries, victim.key)
-		return victim.key, victim.value, true
+		evictedKey, evictedValue = victim.key, victim.value
+		l.recycle(victim)
+		return evictedKey, evictedValue, true
 	}
 	return evictedKey, evictedValue, false
 }
@@ -101,7 +110,17 @@ func (l *LRU[K, V]) Remove(key K) bool {
 	}
 	l.unlink(n)
 	delete(l.entries, key)
+	l.recycle(n)
 	return true
+}
+
+// recycle stashes n for reuse by the next insert, dropping any references
+// held through its key/value so they do not outlive the entry.
+func (l *LRU[K, V]) recycle(n *node[K, V]) {
+	var zeroK K
+	var zeroV V
+	n.key, n.value = zeroK, zeroV
+	l.spare = n
 }
 
 // Oldest returns the least-recently-used key without removing it.
@@ -134,7 +153,7 @@ func (l *LRU[K, V]) Keys() []K {
 // Clear removes all entries, preserving hit/miss counters.
 func (l *LRU[K, V]) Clear() {
 	l.entries = make(map[K]*node[K, V], l.capacity)
-	l.head, l.tail = nil, nil
+	l.head, l.tail, l.spare = nil, nil, nil
 }
 
 // HitRatio returns hits/(hits+misses) over all Get calls (0 when none).

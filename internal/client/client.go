@@ -137,6 +137,16 @@ type Client struct {
 
 	diskSecPerByte float64
 	memSecPerByte  float64
+
+	// Per-query scratch buffers. A client processes one query at a time,
+	// so these are reused round after round instead of allocating on every
+	// query; each is consumed before the next query starts.
+	scratchQuery workload.Query
+	scratchNeed  []workload.ReadOp
+	scratchAir   []oodb.Item
+	scratchBatch []core.BatchEntry
+	scratchKept  []server.ReplyItem
+	scratchStale []oodb.Item
 }
 
 // New builds a client.
@@ -243,8 +253,8 @@ func (c *Client) run(p *sim.Proc) {
 		if p.Now() < scheduled {
 			p.HoldUntil(scheduled)
 		}
-		q := c.gen.Next(c.rnd)
-		c.processQuery(p, q, scheduled)
+		c.gen.NextInto(c.rnd, &c.scratchQuery)
+		c.processQuery(p, &c.scratchQuery, scheduled)
 	}
 }
 
@@ -291,18 +301,29 @@ func (c *Client) ApplyInvalidationReport(now float64, seq uint64) {
 		c.irDrops++
 		return
 	}
-	// Incremental invalidation: drop exactly the changed items.
+	// Incremental invalidation: drop exactly the changed items. ForEach
+	// walks a map in random order, and removal order shapes the replacement
+	// policy's internal scan positions (hence future tie-breaks), so the
+	// stale set is sorted into a canonical order before removal to keep
+	// whole runs reproducible.
 	if c.store != nil {
-		var stale []oodb.Item
+		stale := c.scratchStale[:0]
 		c.store.ForEach(func(it oodb.Item, e *core.Entry) bool {
 			if c.oracle.IsError(it, e.Version) {
 				stale = append(stale, it)
 			}
 			return true
 		})
+		sort.Slice(stale, func(i, j int) bool {
+			if stale[i].OID != stale[j].OID {
+				return stale[i].OID < stale[j].OID
+			}
+			return stale[i].Attr < stale[j].Attr
+		})
 		for _, it := range stale {
 			c.store.Remove(it)
 		}
+		c.scratchStale = stale[:0]
 	}
 	for _, it := range c.membuf.Keys() {
 		if e, ok := c.membuf.Peek(it); ok && c.oracle.IsError(it, e.Version) {
@@ -314,10 +335,11 @@ func (c *Client) ApplyInvalidationReport(now float64, seq uint64) {
 // MemBuffer exposes the memory buffer for diagnostics.
 func (c *Client) MemBuffer() *buffer.LRU[oodb.Item, core.Entry] { return c.membuf }
 
-// processQuery runs one query end to end.
-func (c *Client) processQuery(p *sim.Proc, q workload.Query, issuedAt float64) {
+// processQuery runs one query end to end. q aliases the client's query
+// scratch and is only valid for the duration of the call.
+func (c *Client) processQuery(p *sim.Proc, q *workload.Query, issuedAt float64) {
 	connected := c.sched.Connected(p.Now())
-	var need []workload.ReadOp
+	need := c.scratchNeed[:0]
 	existent := 0
 
 	rec := trace.QueryRecord{
@@ -375,15 +397,13 @@ func (c *Client) processQuery(p *sim.Proc, q workload.Query, issuedAt float64) {
 
 	// Reads covered by the broadcast program are answered from the air;
 	// only the rest go point-to-point.
-	var fromAir []oodb.Item
+	fromAir := c.scratchAir[:0]
 	if c.bcast != nil && connected {
-		pull := need[:0:0]
-		seen := make(map[oodb.Item]bool)
+		pull := need[:0] // in-place filter: pull lags the read cursor
 		for _, rd := range need {
 			item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
 			if c.bcast.Covers(item) {
-				if !seen[item] {
-					seen[item] = true
+				if !containsItem(fromAir, item) {
 					fromAir = append(fromAir, item)
 				}
 				c.bcastReads++
@@ -403,6 +423,10 @@ func (c *Client) processQuery(p *sim.Proc, q workload.Query, issuedAt float64) {
 	if len(fromAir) > 0 {
 		c.receiveBroadcast(p, fromAir)
 	}
+	// Hand the (possibly grown) scratch backing arrays back for reuse.
+	c.scratchNeed = need[:0]
+	c.scratchAir = fromAir[:0]
+
 	rec.Remote = remote || len(fromAir) > 0
 	rec.CompletedAt = p.Now()
 	c.m.RecordQuery(issuedAt, p.Now(), remote, !connected)
@@ -466,10 +490,21 @@ func (c *Client) probeLocal(now float64, item oodb.Item) (core.Entry, core.Looku
 	return core.Entry{}, core.Miss, 0
 }
 
+// containsItem reports whether items holds it; the slices involved are a
+// handful of entries, where a linear scan beats allocating a set.
+func containsItem(items []oodb.Item, it oodb.Item) bool {
+	for _, x := range items {
+		if x == it {
+			return true
+		}
+	}
+	return false
+}
+
 // fetchRemote performs the round trip: existent list upstream, server
 // processing, reply downstream, then caches the returned items. It returns
 // the request and reply wire sizes for tracing.
-func (c *Client) fetchRemote(p *sim.Proc, q workload.Query, need []workload.ReadOp, existent int) (reqBytes, replyBytes int) {
+func (c *Client) fetchRemote(p *sim.Proc, q *workload.Query, need []workload.ReadOp, existent int) (reqBytes, replyBytes int) {
 	req := server.Request{
 		ClientID:        c.id,
 		Granularity:     c.granularity,
@@ -489,13 +524,14 @@ func (c *Client) fetchRemote(p *sim.Proc, q workload.Query, need []workload.Read
 	items := reply.Items
 	c.down.SendDeferred(p, func(waited float64) int {
 		if c.shedThreshold > 0 && waited > c.shedThreshold {
-			kept := make([]server.ReplyItem, 0, len(items))
+			kept := c.scratchKept[:0]
 			for _, it := range items {
 				if !it.Prefetched {
 					kept = append(kept, it)
 				}
 			}
 			c.shedItems += uint64(len(items) - len(kept))
+			c.scratchKept = kept
 			items = kept
 		}
 		replyBytes = server.WireSizeItems(items)
@@ -504,7 +540,7 @@ func (c *Client) fetchRemote(p *sim.Proc, q workload.Query, need []workload.Read
 	})
 
 	now := p.Now()
-	batch := make([]core.BatchEntry, 0, len(items))
+	batch := c.scratchBatch[:0]
 	for _, item := range items {
 		entry := core.Entry{
 			Version:   item.Version,
@@ -530,6 +566,7 @@ func (c *Client) fetchRemote(p *sim.Proc, q workload.Query, need []workload.Read
 	if c.store != nil {
 		c.store.InsertBatch(batch, now)
 	}
+	c.scratchBatch = batch[:0]
 
 	// Remote reads are served fresh: accesses that are neither hits nor
 	// errors.

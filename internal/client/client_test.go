@@ -54,8 +54,8 @@ func newRig(t *testing.T, g core.Granularity, updateProb float64) *rig {
 }
 
 // query builds a deterministic query over the given oids reading attr 0.
-func query(idx uint64, oids ...int) workload.Query {
-	q := workload.Query{Index: idx, Kind: workload.Associative}
+func query(idx uint64, oids ...int) *workload.Query {
+	q := &workload.Query{Index: idx, Kind: workload.Associative}
 	for _, oid := range oids {
 		q.Objects = append(q.Objects, oodb.OID(oid))
 		q.Reads = append(q.Reads, workload.ReadOp{OID: oodb.OID(oid), Attr: 0})
@@ -187,7 +187,7 @@ func TestOCHitsAcrossAttributes(t *testing.T) {
 				Objects: []oodb.OID{1},
 				Reads:   []workload.ReadOp{{OID: 1, Attr: 5}},
 			}
-			r.client.processQuery(p, q2, p.Now())
+			r.client.processQuery(p, &q2, p.Now())
 		})
 		return r.m.HitRatio()
 	}

@@ -79,15 +79,19 @@ const DefaultFixedLease = 600.0
 // lives at the server; the granularity of its keys matches the caching
 // granularity (whole objects under OC, attributes under AC/HC).
 type RefreshEstimator struct {
-	beta    float64
-	streams map[oodb.Item]*stats.InterArrival
+	beta float64
+	// Streams live contiguously in an arena indexed through the map: one
+	// allocation per arena growth instead of one per tracked item, and the
+	// hot ObserveWrite/RefreshTime lookups touch a flat slice.
+	index   map[oodb.Item]int32
+	streams []stats.InterArrival
 }
 
 // NewRefreshEstimator returns an estimator with the given β.
 func NewRefreshEstimator(beta float64) *RefreshEstimator {
 	return &RefreshEstimator{
-		beta:    beta,
-		streams: make(map[oodb.Item]*stats.InterArrival),
+		beta:  beta,
+		index: make(map[oodb.Item]int32),
 	}
 }
 
@@ -96,12 +100,13 @@ func (e *RefreshEstimator) Beta() float64 { return e.beta }
 
 // ObserveWrite records a write on item at virtual time now.
 func (e *RefreshEstimator) ObserveWrite(it oodb.Item, now float64) {
-	s, ok := e.streams[it]
+	i, ok := e.index[it]
 	if !ok {
-		s = &stats.InterArrival{}
-		e.streams[it] = s
+		i = int32(len(e.streams))
+		e.streams = append(e.streams, stats.InterArrival{})
+		e.index[it] = i
 	}
-	s.Observe(now)
+	e.streams[i].Observe(now)
 }
 
 // RefreshTime returns the lease duration for item at time now.
@@ -119,10 +124,11 @@ func (e *RefreshEstimator) ObserveWrite(it oodb.Item, now float64) {
 // time elapsed since that write. Both converge to the formula as history
 // accumulates.
 func (e *RefreshEstimator) RefreshTime(it oodb.Item, now float64) float64 {
-	s, ok := e.streams[it]
+	i, ok := e.index[it]
 	if !ok {
 		return now
 	}
+	s := &e.streams[i]
 	if s.Count() == 0 {
 		last, _ := s.Last()
 		if rt := now - last; rt > 0 {
@@ -145,11 +151,11 @@ func (e *RefreshEstimator) ExpiresAt(it oodb.Item, now float64) float64 {
 
 // WriteCount returns the number of writes observed on item.
 func (e *RefreshEstimator) WriteCount(it oodb.Item) uint64 {
-	s, ok := e.streams[it]
+	i, ok := e.index[it]
 	if !ok {
 		return 0
 	}
-	c := s.Count()
+	c := e.streams[i].Count()
 	return c + 1 // durations = events − 1; first event was also a write
 }
 

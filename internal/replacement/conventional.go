@@ -1,7 +1,14 @@
 package replacement
 
+// Optimized conventional policies (LRU, LRU-k, LRD, FIFO, CLOCK, Random,
+// MRU) on the indexed victim-selection engine in indexed.go. Scoring
+// formulas live in states.go, shared with the scanCore reference
+// implementations in reference.go; the differential tests require both to
+// emit bit-identical victim sequences.
+
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/oodb"
 	"repro/internal/rng"
@@ -9,95 +16,68 @@ import (
 
 // ---------------------------------------------------------------- LRU ----
 
-type lruState struct {
-	last float64
-}
-
 // lru evicts the item with the oldest last access (LRU-1 in the paper).
+// Single class, key = last access time: the heap root is the stalest item
+// and badness (now − last) is exact in the key, so the search rarely
+// descends past the root's equal-key ties.
 type lru struct {
-	core scanCore[lruState]
+	victimCore[lruState]
 }
 
 // NewLRU returns the least-recently-used policy.
 func NewLRU() Policy {
 	p := &lru{}
-	p.core = newScanCore(func(s *lruState, now float64) float64 {
-		return now - s.last
-	})
+	p.t = newSlotTable[lruState]()
+	p.classes = []classHeap{{sc: lruScorer{p}}}
 	return p
 }
 
 // NewLRUFactory returns a Factory for NewLRU.
 func NewLRUFactory() Factory { return func() Policy { return NewLRU() } }
 
+type lruScorer struct{ p *lru }
+
+func (sc lruScorer) bound(key, now float64) float64 { return now - key }
+func (sc lruScorer) cutoff(now, best float64) float64 {
+	return padCutoff(now-best, now, best)
+}
+func (sc lruScorer) eval(slot int32, now float64) float64 {
+	return lruBadness(&sc.p.t.states[slot], now)
+}
+
 func (p *lru) Name() string { return "lru" }
 
 func (p *lru) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		s.last = now
+	if slot, ok := p.t.lookup(it); ok {
+		p.touch(slot, now)
 		return
 	}
-	p.core.add(it, &lruState{last: now})
+	slot, _ := p.t.add(it, lruState{last: now})
+	p.grow()
+	p.classes[0].heap.push(slot, now)
 }
 
 func (p *lru) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	s.last = now
+	p.touch(slot, now)
 }
 
-func (p *lru) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *lru) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *lru) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *lru) Len() int                               { return p.core.len() }
+func (p *lru) touch(slot int32, now float64) {
+	p.t.states[slot].last = now
+	p.classes[0].heap.update(slot, now)
+}
+
+func (p *lru) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *lru) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *lru) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot)
+	}
+}
+func (p *lru) Len() int { return p.t.len() }
 
 // -------------------------------------------------------------- LRU-k ----
-
-// accessRing keeps the last k access times.
-type accessRing struct {
-	times []float64
-	head  int
-	n     int
-}
-
-func newAccessRing(k int) *accessRing { return &accessRing{times: make([]float64, k)} }
-
-func (r *accessRing) push(t float64) {
-	r.times[r.head] = t
-	r.head = (r.head + 1) % len(r.times)
-	if r.n < len(r.times) {
-		r.n++
-	}
-}
-
-// kth returns the k-th most recent access time and whether k accesses exist.
-func (r *accessRing) kth() (float64, bool) {
-	if r.n < len(r.times) {
-		return 0, false
-	}
-	return r.times[r.head], true // head points at the oldest retained time
-}
-
-// last returns the most recent access time.
-func (r *accessRing) last() float64 {
-	idx := (r.head - 1 + len(r.times)) % len(r.times)
-	return r.times[idx]
-}
-
-// DefaultCorrelatedPeriod is the default Correlated Reference Period for
-// LRU-k, in simulated seconds: references closer together than this are
-// treated as one reference (a single query burst), and items referenced
-// within the period are not eviction candidates. Two mean query
-// inter-arrival times (2 × 1/0.01 s) covers intra-burst re-references.
-const DefaultCorrelatedPeriod = 200.0
-
-// lruKState is an item's reference history: the ring holds uncorrelated
-// reference times; last tracks the most recent (possibly correlated)
-// access for CRP decisions.
-type lruKState struct {
-	ring *accessRing
-	last float64
-}
 
 // lruK implements LRU-k [O'Neil et al., SIGMOD'93]: the victim is the item
 // with the maximum backward k-distance, i.e. the oldest k-th most recent
@@ -117,11 +97,20 @@ type lruKState struct {
 //     protected from eviction — otherwise every item fetched by the
 //     current query would be a prime (infinite-distance) victim for the
 //     same query's later insertions.
+//
+// Indexing: two class heaps over the same slots. Items with fewer than k
+// references ("infinite" class, badness ≈ +inf) are keyed by last access;
+// items with a full ring ("finite" class) are keyed by the k-th last
+// access. Both keys give bit-exact bounds. CRP protection is a property of
+// `now`, not the key, so it is handled at evaluation time: a protected
+// item's exact badness (≈ −inf) simply loses to any candidate, while the
+// class bound still upper-bounds it, keeping the pruning sound.
 type lruK struct {
+	victimCore[int32] // slot state = index into arena
 	k       int
 	crp     float64
-	core    scanCore[lruKState]
-	history map[oodb.Item]*lruKState
+	arena   []lruKState
+	history map[oodb.Item]int32 // retained information: item -> arena index
 }
 
 // NewLRUK returns the LRU-k policy with the default correlated reference
@@ -137,85 +126,95 @@ func NewLRUKCRP(k int, crp float64) Policy {
 	if crp < 0 {
 		panic("replacement: LRU-k correlated period must be >= 0")
 	}
-	p := &lruK{k: k, crp: crp, history: make(map[oodb.Item]*lruKState)}
-	p.core = newScanCore(func(s *lruKState, now float64) float64 {
-		// The class separator must dominate any finite backward distance
-		// while leaving float64 precision for the staleness tie-breaks
-		// added to it (ulp(1e12) ~ 1e-4 s; 1e18 would swallow them).
-		const inf = 1e12
-		if p.crp > 0 && now-s.last < p.crp {
-			// Correlated period: protected. Orders behind every candidate;
-			// among protected items the stalest goes first if eviction is
-			// unavoidable.
-			return -inf + (now - s.last)
-		}
-		if kth, ok := s.ring.kth(); ok {
-			return now - kth
-		}
-		// Infinite backward k-distance: dominates any finite distance;
-		// ordered among themselves by last access.
-		return inf + (now - s.last)
-	})
+	p := &lruK{k: k, crp: crp, history: make(map[oodb.Item]int32)}
+	p.t = newSlotTable[int32]()
+	p.classes = []classHeap{
+		{sc: lruKInfScorer{p}}, // < k references, keyed by last access
+		{sc: lruKFinScorer{p}}, // full ring, keyed by k-th last access
+	}
 	return p
 }
 
 // NewLRUKFactory returns a Factory for NewLRUK(k).
 func NewLRUKFactory(k int) Factory { return func() Policy { return NewLRUK(k) } }
 
+type lruKInfScorer struct{ p *lruK }
+
+func (sc lruKInfScorer) bound(key, now float64) float64 { return lruKInf + (now - key) }
+func (sc lruKInfScorer) cutoff(now, best float64) float64 {
+	// padCutoff's |best| term covers the cancellation error of
+	// lruKInf - best (~1e12 magnitudes → ~milliseconds of slack).
+	return padCutoff(now+(lruKInf-best), now, best)
+}
+func (sc lruKInfScorer) eval(slot int32, now float64) float64 {
+	return lruKBadness(&sc.p.arena[sc.p.t.states[slot]], sc.p.crp, now)
+}
+
+type lruKFinScorer struct{ p *lruK }
+
+func (sc lruKFinScorer) bound(key, now float64) float64 { return now - key }
+func (sc lruKFinScorer) cutoff(now, best float64) float64 {
+	return padCutoff(now-best, now, best)
+}
+func (sc lruKFinScorer) eval(slot int32, now float64) float64 {
+	return lruKBadness(&sc.p.arena[sc.p.t.states[slot]], sc.p.crp, now)
+}
+
 func (p *lruK) Name() string { return fmt.Sprintf("lru-%d", p.k) }
 
-// record applies one access with reference collapsing.
-func (p *lruK) record(s *lruKState, now float64) {
-	if s.ring.n == 0 || now-s.last >= p.crp {
-		s.ring.push(now)
+// sync re-keys a slot after its state recorded an access, moving it to the
+// finite class once its ring fills (rings never empty, so the reverse
+// transition cannot happen).
+func (p *lruK) sync(slot int32) {
+	s := &p.arena[p.t.states[slot]]
+	if kth, ok := s.ring.kth(); ok {
+		p.classes[0].heap.remove(slot)
+		p.classes[1].heap.update(slot, kth)
+	} else {
+		p.classes[0].heap.update(slot, s.last)
 	}
-	s.last = now
 }
 
 func (p *lruK) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		p.record(s, now)
+	if slot, ok := p.t.lookup(it); ok {
+		p.arena[p.t.states[slot]].record(p.crp, now)
+		p.sync(slot)
 		return
 	}
-	s, ok := p.history[it]
+	idx, ok := p.history[it]
 	if !ok {
-		s = &lruKState{ring: newAccessRing(p.k)}
-		p.history[it] = s
+		idx = int32(len(p.arena))
+		p.arena = append(p.arena, lruKState{ring: makeAccessRing(p.k)})
+		p.history[it] = idx
 	}
-	p.record(s, now)
-	p.core.add(it, s)
+	s := &p.arena[idx]
+	s.record(p.crp, now)
+	slot, _ := p.t.add(it, idx)
+	p.grow()
+	if kth, full := s.ring.kth(); full {
+		p.classes[1].heap.push(slot, kth)
+	} else {
+		p.classes[0].heap.push(slot, s.last)
+	}
 }
 
 func (p *lruK) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	p.record(s, now)
+	p.arena[p.t.states[slot]].record(p.crp, now)
+	p.sync(slot)
 }
 
-func (p *lruK) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *lruK) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *lruK) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *lruK) Len() int                               { return p.core.len() }
-
-// ---------------------------------------------------------------- LRD ----
-
-// DefaultLRDInterval is the reference-count aging period used in
-// Experiment #2: "the reference count of each database item is divided by 2
-// every 1000 seconds".
-const DefaultLRDInterval = 1000.0
-
-type lrdState struct {
-	refs     float64
-	enter    float64 // first-access time
-	lastAged float64
-}
-
-func (s *lrdState) age(now, interval float64) {
-	for now-s.lastAged >= interval {
-		s.refs /= 2
-		s.lastAged += interval
+func (p *lruK) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *lruK) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *lruK) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot) // history keeps the arena state (retained info)
 	}
 }
+func (p *lruK) Len() int { return p.t.len() }
+
+// ---------------------------------------------------------------- LRD ----
 
 // lrd implements least-reference-density with periodic aging: the victim
 // has the minimum time-decayed reference count, where counts are halved
@@ -225,9 +224,16 @@ func (s *lrdState) age(now, interval float64) {
 // multiple of its access rate, and the count of an abandoned item decays
 // geometrically, which is what lets LRD adapt to hot-spot changes faster
 // than LRU (Figure 5) while adapting slower than EWMA.
+//
+// Indexing: single class keyed in the log domain,
+// key = log2(refs) + lastAged/interval, which is invariant under lazy
+// aging (refs /= 2 and lastAged += interval cancel), so eval-time aging
+// never touches the heap. The bound maps back with continuous decay —
+// −exp2(key − now/interval) — which lower-bounds the stepwise-halved count
+// (floor(x) ≤ x), padded for the log/exp round trip.
 type lrd struct {
+	victimCore[lrdState]
 	interval float64
-	core     scanCore[lrdState]
 }
 
 // NewLRD returns the LRD policy with the given aging interval.
@@ -236,98 +242,150 @@ func NewLRD(interval float64) Policy {
 		panic("replacement: LRD interval must be positive")
 	}
 	p := &lrd{interval: interval}
-	p.core = newScanCore(func(s *lrdState, now float64) float64 {
-		s.age(now, p.interval)
-		return -s.refs // min decayed density == max badness
-	})
+	p.t = newSlotTable[lrdState]()
+	p.classes = []classHeap{{sc: lrdScorer{p}}}
 	return p
 }
 
 // NewLRDFactory returns a Factory for NewLRD(interval).
 func NewLRDFactory(interval float64) Factory { return func() Policy { return NewLRD(interval) } }
 
+type lrdScorer struct{ p *lrd }
+
+func (sc lrdScorer) bound(key, now float64) float64 {
+	e := math.Exp2(key - now/sc.p.interval)
+	// Padding: ~1e-12 relative error from the log2/÷/exp2 round trip and
+	// subnormal crumbs from deep halving, with a 1000x safety margin.
+	return -e + (1e-9 + 1e-9*e)
+}
+func (sc lrdScorer) cutoff(now, best float64) float64 {
+	// bound >= best ⟺ e·(1-1e-9) <= 1e-9 - best ⟺ key <= log2(rhs) + now/I.
+	// LRD badness is -refs <= 0, so the engine only passes best <= 0; there
+	// rhs >= 1e-9 and threshold slots have e >= 1e-9, keeping the log-domain
+	// inversion well-conditioned (positive best would hit catastrophic
+	// cancellation in 1e-9 - best, but nothing can score above 0 to set it).
+	if best > 0 {
+		return math.Inf(-1)
+	}
+	rhs := (1e-9 - best) / (1 - 1e-9)
+	return padCutoff(math.Log2(rhs)+now/sc.p.interval, now/sc.p.interval, best)
+}
+func (sc lrdScorer) eval(slot int32, now float64) float64 {
+	return lrdBadness(&sc.p.t.states[slot], sc.p.interval, now)
+}
+
+func (p *lrd) keyOf(s *lrdState) float64 {
+	return math.Log2(s.refs) + s.lastAged/p.interval
+}
+
 func (p *lrd) Name() string { return "lrd" }
 
 func (p *lrd) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		s.age(now, p.interval)
-		s.refs++
+	if slot, ok := p.t.lookup(it); ok {
+		p.bump(slot, now)
 		return
 	}
-	p.core.add(it, &lrdState{refs: 1, enter: now, lastAged: now})
+	slot, _ := p.t.add(it, lrdState{refs: 1, enter: now, lastAged: now})
+	p.grow()
+	p.classes[0].heap.push(slot, p.keyOf(&p.t.states[slot]))
 }
 
 func (p *lrd) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	s.age(now, p.interval)
-	s.refs++
+	p.bump(slot, now)
 }
 
-func (p *lrd) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *lrd) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *lrd) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *lrd) Len() int                               { return p.core.len() }
+func (p *lrd) bump(slot int32, now float64) {
+	s := &p.t.states[slot]
+	s.age(now, p.interval)
+	s.refs++
+	p.classes[0].heap.update(slot, p.keyOf(s))
+}
+
+func (p *lrd) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *lrd) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *lrd) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot)
+	}
+}
+func (p *lrd) Len() int { return p.t.len() }
 
 // --------------------------------------------------------------- FIFO ----
 
-type fifoState struct {
-	seq uint64
-}
-
-// fifo evicts in insertion order, ignoring accesses.
+// fifo evicts in insertion order, ignoring accesses. Single class keyed by
+// the insertion sequence number: the heap root is always the victim.
 type fifo struct {
-	core scanCore[fifoState]
-	n    uint64
+	victimCore[fifoState]
+	n uint64
 }
 
 // NewFIFO returns the first-in-first-out baseline.
 func NewFIFO() Policy {
 	p := &fifo{}
-	p.core = newScanCore(func(s *fifoState, _ float64) float64 {
-		return -float64(s.seq)
-	})
+	p.t = newSlotTable[fifoState]()
+	p.classes = []classHeap{{sc: fifoScorer{p}}}
 	return p
 }
 
 // NewFIFOFactory returns a Factory for NewFIFO.
 func NewFIFOFactory() Factory { return func() Policy { return NewFIFO() } }
 
+type fifoScorer struct{ p *fifo }
+
+func (sc fifoScorer) bound(key, now float64) float64 { return -key }
+func (sc fifoScorer) cutoff(now, best float64) float64 {
+	return padCutoff(-best, now, best)
+}
+func (sc fifoScorer) eval(slot int32, now float64) float64 {
+	return fifoBadness(&sc.p.t.states[slot])
+}
+
 func (p *fifo) Name() string { return "fifo" }
 
 func (p *fifo) OnInsert(it oodb.Item, now float64) {
-	if _, ok := p.core.get(it); ok {
+	if _, ok := p.t.lookup(it); ok {
 		return
 	}
 	p.n++
-	p.core.add(it, &fifoState{seq: p.n})
+	slot, _ := p.t.add(it, fifoState{seq: p.n})
+	p.grow()
+	p.classes[0].heap.push(slot, float64(p.n))
 }
 
 func (p *fifo) OnAccess(it oodb.Item, now float64) {
-	_, ok := p.core.get(it)
+	_, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
 }
 
-func (p *fifo) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *fifo) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *fifo) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *fifo) Len() int                               { return p.core.len() }
+func (p *fifo) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *fifo) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *fifo) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot)
+	}
+}
+func (p *fifo) Len() int { return p.t.len() }
 
 // -------------------------------------------------------------- CLOCK ----
 
 // clock implements the second-chance approximation of LRU: items sit on a
 // circular list with a referenced bit; the hand clears bits until it finds
-// an unreferenced item.
+// an unreferenced item. Reference bits live in a flat slice parallel to
+// items (swap-moved on removal) instead of a map.
 type clock struct {
 	items []oodb.Item
 	index map[oodb.Item]int
-	ref   map[oodb.Item]bool
+	ref   []bool
+	stamp []uint64 // per-position selection stamp for Victims' wrap guard
 	hand  int
+	gen   uint64
 }
 
 // NewClock returns the CLOCK (second chance) baseline.
 func NewClock() Policy {
-	return &clock{index: make(map[oodb.Item]int), ref: make(map[oodb.Item]bool)}
+	return &clock{index: make(map[oodb.Item]int)}
 }
 
 // NewClockFactory returns a Factory for NewClock.
@@ -336,60 +394,72 @@ func NewClockFactory() Factory { return func() Policy { return NewClock() } }
 func (p *clock) Name() string { return "clock" }
 
 func (p *clock) OnInsert(it oodb.Item, now float64) {
-	if _, ok := p.index[it]; ok {
-		p.ref[it] = true
+	if i, ok := p.index[it]; ok {
+		p.ref[i] = true
 		return
 	}
 	p.index[it] = len(p.items)
 	p.items = append(p.items, it)
-	p.ref[it] = true
+	p.ref = append(p.ref, true)
+	p.stamp = append(p.stamp, 0)
 }
 
 func (p *clock) OnAccess(it oodb.Item, now float64) {
-	_, ok := p.index[it]
+	i, ok := p.index[it]
 	mustTracked(p.Name(), ok, it)
-	p.ref[it] = true
+	p.ref[i] = true
 }
 
 func (p *clock) Victim(now float64) (oodb.Item, bool) {
 	if len(p.items) == 0 {
 		return oodb.Item{}, false
 	}
-	for sweep := 0; sweep < 2*len(p.items)+1; sweep++ {
+	// Each pass either clears a set bit (finitely many) or returns, so at
+	// most len(items)+1 iterations run; the historical 2n+1 fallback was
+	// unreachable and is gone. The hand stays on the victim (the caller's
+	// Remove compacts the slot).
+	for {
 		if p.hand >= len(p.items) {
 			p.hand = 0
 		}
-		it := p.items[p.hand]
-		if p.ref[it] {
-			p.ref[it] = false
+		if p.ref[p.hand] {
+			p.ref[p.hand] = false
 			p.hand++
 			continue
 		}
-		return it, true
+		return p.items[p.hand], true
 	}
-	// All bits were set and cleared twice: fall back to the hand position.
-	if p.hand >= len(p.items) {
-		p.hand = 0
-	}
-	return p.items[p.hand], true
 }
 
+// Victims collects up to n victims in one continuous hand rotation rather
+// than n restarted sweeps. Each victim is re-marked referenced so the
+// rotation passes over it (callers evict the returned items anyway); a
+// position stamp detects the wrap where every remaining item was already
+// selected this call, which is where the n-sweep version's seen-set broke.
 func (p *clock) Victims(now float64, n int) []oodb.Item {
 	if n > len(p.items) {
 		n = len(p.items)
 	}
-	var out []oodb.Item
-	seen := make(map[oodb.Item]bool, n)
+	if n <= 0 {
+		return nil
+	}
+	p.gen++
+	out := make([]oodb.Item, 0, n)
 	for len(out) < n {
-		it, ok := p.Victim(now)
-		if !ok || seen[it] {
-			break
+		if p.hand >= len(p.items) {
+			p.hand = 0
 		}
-		seen[it] = true
-		out = append(out, it)
-		// Mark it referenced so the next sweep passes over it; callers
-		// evict (Remove) the returned items anyway, which clears state.
-		p.ref[it] = true
+		if p.ref[p.hand] {
+			p.ref[p.hand] = false
+			p.hand++
+			continue
+		}
+		if p.stamp[p.hand] == p.gen {
+			break // wrapped onto an item already selected this call
+		}
+		p.stamp[p.hand] = p.gen
+		out = append(out, p.items[p.hand])
+		p.ref[p.hand] = true
 		p.hand++
 	}
 	return out
@@ -402,10 +472,13 @@ func (p *clock) Remove(it oodb.Item) {
 	}
 	last := len(p.items) - 1
 	p.items[i] = p.items[last]
+	p.ref[i] = p.ref[last]
+	p.stamp[i] = p.stamp[last]
 	p.index[p.items[i]] = i
 	p.items = p.items[:last]
+	p.ref = p.ref[:last]
+	p.stamp = p.stamp[:last]
 	delete(p.index, it)
-	delete(p.ref, it)
 	if p.hand > last {
 		p.hand = 0
 	}
@@ -487,39 +560,60 @@ func (p *random) Len() int { return len(p.items) }
 // most-recently-used policy from the replacement literature [5] surveys.
 // It is pessimal on recency-friendly workloads but competitive on loops,
 // making it a useful contrast on the cyclic pattern of Experiment #4.
+// Single class, key = −last, so the heap root is the newest item.
 type mru struct {
-	core scanCore[lruState]
+	victimCore[lruState]
 }
 
 // NewMRU returns the most-recently-used policy.
 func NewMRU() Policy {
 	p := &mru{}
-	p.core = newScanCore(func(s *lruState, now float64) float64 {
-		return s.last - now // newest access == maximum badness
-	})
+	p.t = newSlotTable[lruState]()
+	p.classes = []classHeap{{sc: mruScorer{p}}}
 	return p
 }
 
 // NewMRUFactory returns a Factory for NewMRU.
 func NewMRUFactory() Factory { return func() Policy { return NewMRU() } }
 
+type mruScorer struct{ p *mru }
+
+func (sc mruScorer) bound(key, now float64) float64 { return -key - now }
+func (sc mruScorer) cutoff(now, best float64) float64 {
+	return padCutoff(-best-now, now, best)
+}
+func (sc mruScorer) eval(slot int32, now float64) float64 {
+	return mruBadness(&sc.p.t.states[slot], now)
+}
+
 func (p *mru) Name() string { return "mru" }
 
 func (p *mru) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		s.last = now
+	if slot, ok := p.t.lookup(it); ok {
+		p.touch(slot, now)
 		return
 	}
-	p.core.add(it, &lruState{last: now})
+	slot, _ := p.t.add(it, lruState{last: now})
+	p.grow()
+	p.classes[0].heap.push(slot, -now)
 }
 
 func (p *mru) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	s.last = now
+	p.touch(slot, now)
 }
 
-func (p *mru) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *mru) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *mru) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *mru) Len() int                               { return p.core.len() }
+func (p *mru) touch(slot int32, now float64) {
+	p.t.states[slot].last = now
+	p.classes[0].heap.update(slot, -now)
+}
+
+func (p *mru) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *mru) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *mru) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot)
+	}
+}
+func (p *mru) Len() int { return p.t.len() }

@@ -1,25 +1,29 @@
 package replacement
 
+// This file implements the paper's proposed duration-score policies (§3.3):
+// Mean, Window(W) and EWMA(α), on the indexed victim-selection engine in
+// indexed.go. Each scores an item by a statistic over its access
+// inter-arrival durations; the victim is the item with the highest
+// *effective* mean duration, where the effective value folds in the open
+// interval since the last access (see the package comment).
+//
+// The open interval makes the scores time-varying, so unlike LRU these
+// heaps cannot rank items outright. Instead each class keys on the
+// time-invariant part of the score — the `now` term is common to the whole
+// class and moves every item's score in lockstep — and the bound-pruned
+// search folds `now` back in at eviction time, visiting only the heap
+// prefix whose bound can still beat the current best. Scoring formulas
+// live in states.go, shared with the scanCore references in reference.go.
+
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/oodb"
 	"repro/internal/stats"
 )
 
-// This file implements the paper's proposed duration-score policies (§3.3):
-// Mean, Window(W) and EWMA(α). Each scores an item by a statistic over its
-// access inter-arrival durations; the victim is the item with the highest
-// *effective* mean duration, where the effective value folds in the open
-// interval since the last access (see the package comment).
-
 // ---------------------------------------------------------------- Mean ----
-
-type meanState struct {
-	n    uint64  // number of recorded durations
-	mean float64 // running mean duration
-	last float64 // last access time
-}
 
 // meanPolicy implements the paper's mean scheme: the score is the cumulative
 // mean inter-arrival duration, updated incrementally as
@@ -29,66 +33,83 @@ type meanState struct {
 // which is exactly why the scheme collapses when the hot spot changes
 // (Experiment #2). Items with no recorded duration yet are scored by the
 // open interval since their only access so they remain evictable.
+//
+// Indexing: settled items (n > 0) score exactly their mean — a constant —
+// so they sit in a class keyed by −mean with an exact bound; fresh items
+// (single access) score by the open interval and are keyed by last access.
 type meanPolicy struct {
-	core scanCore[meanState]
+	victimCore[meanState]
 }
 
 // NewMean returns the mean replacement scheme.
 func NewMean() Policy {
 	p := &meanPolicy{}
-	p.core = newScanCore(func(s *meanState, now float64) float64 {
-		if s.n == 0 {
-			return now - s.last
-		}
-		return s.mean
-	})
+	p.t = newSlotTable[meanState]()
+	p.classes = []classHeap{
+		{sc: meanSettledScorer{p}},
+		{sc: meanFreshScorer{p}},
+	}
 	return p
 }
 
 // NewMeanFactory returns a Factory for NewMean.
 func NewMeanFactory() Factory { return func() Policy { return NewMean() } }
 
+type meanSettledScorer struct{ p *meanPolicy }
+
+func (sc meanSettledScorer) bound(key, now float64) float64 { return -key }
+func (sc meanSettledScorer) cutoff(now, best float64) float64 {
+	return padCutoff(-best, now, best)
+}
+func (sc meanSettledScorer) eval(slot int32, now float64) float64 {
+	return meanBadness(&sc.p.t.states[slot], now)
+}
+
+type meanFreshScorer struct{ p *meanPolicy }
+
+func (sc meanFreshScorer) bound(key, now float64) float64 { return now - key }
+func (sc meanFreshScorer) cutoff(now, best float64) float64 {
+	return padCutoff(now-best, now, best)
+}
+func (sc meanFreshScorer) eval(slot int32, now float64) float64 {
+	return meanBadness(&sc.p.t.states[slot], now)
+}
+
 func (p *meanPolicy) Name() string { return "mean" }
 
 func (p *meanPolicy) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		p.record(s, now)
+	if slot, ok := p.t.lookup(it); ok {
+		p.bump(slot, now)
 		return
 	}
-	p.core.add(it, &meanState{last: now})
+	slot, _ := p.t.add(it, meanState{last: now})
+	p.grow()
+	p.classes[1].heap.push(slot, now) // fresh
 }
 
 func (p *meanPolicy) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	p.record(s, now)
+	p.bump(slot, now)
 }
 
-func (p *meanPolicy) record(s *meanState, now float64) {
-	d := now - s.last
-	if d < 0 {
-		d = 0
+func (p *meanPolicy) bump(slot int32, now float64) {
+	s := &p.t.states[slot]
+	s.record(now)
+	p.classes[1].heap.remove(slot) // no-op once settled
+	p.classes[0].heap.update(slot, -s.mean)
+}
+
+func (p *meanPolicy) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *meanPolicy) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *meanPolicy) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot)
 	}
-	s.mean = (float64(s.n)*s.mean + d) / float64(s.n+1)
-	s.n++
-	s.last = now
 }
-
-func (p *meanPolicy) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *meanPolicy) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *meanPolicy) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *meanPolicy) Len() int                               { return p.core.len() }
+func (p *meanPolicy) Len() int { return p.t.len() }
 
 // -------------------------------------------------------------- Window ----
-
-// DefaultWindowSize is the window size used in the paper's experiments
-// (Win-10).
-const DefaultWindowSize = 10
-
-type windowState struct {
-	win  *stats.Window
-	last float64
-}
 
 // windowPolicy implements the paper's window scheme: the score is the mean
 // inter-arrival duration over the W most recent durations, computed with
@@ -97,10 +118,16 @@ type windowState struct {
 // durations were zero, which makes young items look hot until W accesses
 // accumulate. The open interval since the last access joins the window at
 // eviction time so abandoned items eventually age out. Storage per item is
-// O(W) — the cost §3.3 points out.
+// O(W) — the cost §3.3 points out; evicted items donate their window
+// buffer to a free list so steady-state churn allocates nothing.
+//
+// Indexing: the fixed divisor makes the whole score affine in now:
+// score = (now − key)/W with key = last − ΣW + oldest-if-full, so a single
+// class with a padded bound covers every item.
 type windowPolicy struct {
+	victimCore[winState]
 	w    int
-	core scanCore[windowState]
+	free []stats.Window // recycled buffers of removed items
 }
 
 // NewWindow returns the window scheme with the given window size.
@@ -109,69 +136,101 @@ func NewWindow(w int) Policy {
 		panic("replacement: window size must be >= 1")
 	}
 	p := &windowPolicy{w: w}
-	p.core = newScanCore(func(s *windowState, now float64) float64 {
-		open := now - s.last
-		sum := s.win.Mean()*float64(s.win.Count()) + open
-		if s.win.Count() == s.win.Size() {
-			sum -= s.win.Oldest() // open interval displaces the oldest duration
-		}
-		return sum / float64(p.w)
-	})
+	p.t = newSlotTable[winState]()
+	p.classes = []classHeap{{sc: windowScorer{p}}}
 	return p
 }
 
 // NewWindowFactory returns a Factory for NewWindow(w).
 func NewWindowFactory(w int) Factory { return func() Policy { return NewWindow(w) } }
 
+type windowScorer struct{ p *windowPolicy }
+
+func (sc windowScorer) bound(key, now float64) float64 {
+	// Padding: the key's algebraic rearrangement of the reference formula
+	// carries rounding from intermediates of magnitude up to ~W·now, a few
+	// parts in 10^15 of that; pad proportionally with a large margin.
+	pad := 1e-9 + 1e-13*float64(sc.p.w+2)*(math.Abs(now)+math.Abs(key))
+	return (now-key)/float64(sc.p.w) + pad
+}
+func (sc windowScorer) cutoff(now, best float64) float64 {
+	// Invert (now-key)/w + pad(key) >= best, doubling the bound's own pad
+	// to absorb evaluating it at the cutoff instead of the true key.
+	w := float64(sc.p.w)
+	k := now - w*best
+	k += w * (2e-9 + 2e-13*float64(sc.p.w+2)*(math.Abs(now)+math.Abs(k)))
+	return padCutoff(k, now, best)
+}
+func (sc windowScorer) eval(slot int32, now float64) float64 {
+	return windowBadness(&sc.p.t.states[slot], sc.p.w, now)
+}
+
+func (p *windowPolicy) keyOf(s *winState) float64 {
+	k := s.last - s.win.Mean()*float64(s.win.Count())
+	if s.win.Count() == s.win.Size() {
+		k += s.win.Oldest()
+	}
+	return k
+}
+
 func (p *windowPolicy) Name() string { return fmt.Sprintf("win-%d", p.w) }
 
 func (p *windowPolicy) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		p.record(s, now)
+	if slot, ok := p.t.lookup(it); ok {
+		p.bump(slot, now)
 		return
 	}
-	p.core.add(it, &windowState{win: stats.NewWindow(p.w), last: now})
+	var win stats.Window
+	if n := len(p.free); n > 0 {
+		win = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		win = stats.MakeWindow(p.w)
+	}
+	slot, _ := p.t.add(it, winState{win: win, last: now})
+	p.grow()
+	p.classes[0].heap.push(slot, p.keyOf(&p.t.states[slot]))
 }
 
 func (p *windowPolicy) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	p.record(s, now)
+	p.bump(slot, now)
 }
 
-func (p *windowPolicy) record(s *windowState, now float64) {
-	d := now - s.last
-	if d < 0 {
-		d = 0
+func (p *windowPolicy) bump(slot int32, now float64) {
+	s := &p.t.states[slot]
+	s.record(now)
+	p.classes[0].heap.update(slot, p.keyOf(s))
+}
+
+func (p *windowPolicy) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *windowPolicy) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *windowPolicy) Remove(it oodb.Item) {
+	slot, ok := p.t.lookup(it)
+	if !ok {
+		return
 	}
-	s.win.Add(d)
-	s.last = now
+	win := p.t.states[slot].win // value copy owns the buffer after removal
+	p.removeSlot(slot)
+	win.Reset()
+	p.free = append(p.free, win)
 }
-
-func (p *windowPolicy) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *windowPolicy) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *windowPolicy) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *windowPolicy) Len() int                               { return p.core.len() }
+func (p *windowPolicy) Len() int { return p.t.len() }
 
 // ---------------------------------------------------------------- EWMA ----
-
-// DefaultEWMAAlpha is the paper's recommended weight (EWMA-0.5): history
-// halves on every access, mirroring LRD's "divide the reference count by 2".
-const DefaultEWMAAlpha = 0.5
-
-type ewmaState struct {
-	value float64 // current EWMA of durations
-	n     uint64
-	last  float64
-}
 
 // ewmaPolicy implements the paper's EWMA scheme: the score is the
 // exponentially weighted moving average of inter-arrival durations,
 // S ← α·S + (1−α)·d. O(1) state per item, fast adaptation — the policy the
 // paper recommends.
+//
+// Indexing: score = α·S + (1−α)(now − last) = (1−α)·now − key with
+// key = (1−α)·last − α·S, so settled items form one class with a padded
+// bound; fresh items (score = open interval) are keyed by last access.
 type ewmaPolicy struct {
+	victimCore[ewmaState]
 	alpha float64
-	core  scanCore[ewmaState]
 }
 
 // NewEWMA returns the EWMA scheme with retention weight alpha in [0, 1).
@@ -180,50 +239,75 @@ func NewEWMA(alpha float64) Policy {
 		panic("replacement: EWMA alpha must be in [0,1)")
 	}
 	p := &ewmaPolicy{alpha: alpha}
-	p.core = newScanCore(func(s *ewmaState, now float64) float64 {
-		open := now - s.last
-		if s.n == 0 {
-			return open
-		}
-		return p.alpha*s.value + (1-p.alpha)*open
-	})
+	p.t = newSlotTable[ewmaState]()
+	p.classes = []classHeap{
+		{sc: ewmaSettledScorer{p}},
+		{sc: ewmaFreshScorer{p}},
+	}
 	return p
 }
 
 // NewEWMAFactory returns a Factory for NewEWMA(alpha).
 func NewEWMAFactory(alpha float64) Factory { return func() Policy { return NewEWMA(alpha) } }
 
+type ewmaSettledScorer struct{ p *ewmaPolicy }
+
+func (sc ewmaSettledScorer) bound(key, now float64) float64 {
+	// Padding: the affine rearrangement's rounding is a few ulps of
+	// magnitude ~now; pad with a large margin.
+	return (1-sc.p.alpha)*now - key + (1e-9 + 1e-12*(math.Abs(now)+math.Abs(key)))
+}
+func (sc ewmaSettledScorer) cutoff(now, best float64) float64 {
+	// Invert (1-α)·now - key + pad(key) >= best, doubling the bound's pad
+	// to absorb evaluating it at the cutoff instead of the true key.
+	k := (1-sc.p.alpha)*now - best
+	k += 2e-9 + 2e-12*(math.Abs(now)+math.Abs(k))
+	return padCutoff(k, now, best)
+}
+func (sc ewmaSettledScorer) eval(slot int32, now float64) float64 {
+	return ewmaBadness(&sc.p.t.states[slot], sc.p.alpha, now)
+}
+
+type ewmaFreshScorer struct{ p *ewmaPolicy }
+
+func (sc ewmaFreshScorer) bound(key, now float64) float64 { return now - key }
+func (sc ewmaFreshScorer) cutoff(now, best float64) float64 {
+	return padCutoff(now-best, now, best)
+}
+func (sc ewmaFreshScorer) eval(slot int32, now float64) float64 {
+	return ewmaBadness(&sc.p.t.states[slot], sc.p.alpha, now)
+}
+
 func (p *ewmaPolicy) Name() string { return fmt.Sprintf("ewma-%g", p.alpha) }
 
 func (p *ewmaPolicy) OnInsert(it oodb.Item, now float64) {
-	if s, ok := p.core.get(it); ok {
-		p.record(s, now)
+	if slot, ok := p.t.lookup(it); ok {
+		p.bump(slot, now)
 		return
 	}
-	p.core.add(it, &ewmaState{last: now})
+	slot, _ := p.t.add(it, ewmaState{last: now})
+	p.grow()
+	p.classes[1].heap.push(slot, now) // fresh
 }
 
 func (p *ewmaPolicy) OnAccess(it oodb.Item, now float64) {
-	s, ok := p.core.get(it)
+	slot, ok := p.t.lookup(it)
 	mustTracked(p.Name(), ok, it)
-	p.record(s, now)
+	p.bump(slot, now)
 }
 
-func (p *ewmaPolicy) record(s *ewmaState, now float64) {
-	d := now - s.last
-	if d < 0 {
-		d = 0
-	}
-	if s.n == 0 {
-		s.value = d
-	} else {
-		s.value = p.alpha*s.value + (1-p.alpha)*d
-	}
-	s.n++
-	s.last = now
+func (p *ewmaPolicy) bump(slot int32, now float64) {
+	s := &p.t.states[slot]
+	s.record(p.alpha, now)
+	p.classes[1].heap.remove(slot) // no-op once settled
+	p.classes[0].heap.update(slot, (1-p.alpha)*s.last-p.alpha*s.value)
 }
 
-func (p *ewmaPolicy) Victim(now float64) (oodb.Item, bool)   { return p.core.victim(now) }
-func (p *ewmaPolicy) Victims(now float64, n int) []oodb.Item { return p.core.victims(now, n) }
-func (p *ewmaPolicy) Remove(it oodb.Item)                    { p.core.remove(it) }
-func (p *ewmaPolicy) Len() int                               { return p.core.len() }
+func (p *ewmaPolicy) Victim(now float64) (oodb.Item, bool)   { return p.victim(now) }
+func (p *ewmaPolicy) Victims(now float64, n int) []oodb.Item { return p.victims(now, n) }
+func (p *ewmaPolicy) Remove(it oodb.Item) {
+	if slot, ok := p.t.lookup(it); ok {
+		p.removeSlot(slot)
+	}
+}
+func (p *ewmaPolicy) Len() int { return p.t.len() }

@@ -1,6 +1,10 @@
 package replacement
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/oodb"
+)
 
 // FuzzParse checks Parse never panics and that accepted specs produce
 // policies whose Name round-trips through Parse again.
@@ -27,6 +31,94 @@ func FuzzParse(f *testing.F) {
 		}
 		if _, err := Parse(name); err != nil {
 			t.Fatalf("Name %q of accepted spec %q does not re-parse: %v", name, spec, err)
+		}
+	})
+}
+
+// FuzzDifferentialTrace replays a byte-encoded operation trace against an
+// indexed policy and its retained scanCore reference twin in lockstep,
+// requiring identical victim choices throughout. Each byte encodes one
+// operation on a small item universe; time advances by the low bits so the
+// fuzzer can produce exact ties (zero gaps) as well as long idle spans.
+func FuzzDifferentialTrace(f *testing.F) {
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0x00, 0x41, 0x82, 0xc3, 0x04, 0x45})
+	f.Add(3, []byte{0x10, 0x10, 0x10, 0x10, 0xf0, 0xf1}) // repeated same-time hits
+	f.Add(5, []byte{0x01, 0x42, 0x83, 0xc4, 0x05, 0x46, 0x87, 0xc8})
+	f.Add(7, []byte{0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa, 0xf9, 0xf8})
+	f.Add(9, []byte{0x20, 0x60, 0xa0, 0xe0, 0x21, 0x61, 0xa1, 0xe1, 0x22})
+	f.Add(11, []byte{0x33, 0x77, 0xbb, 0xff, 0x00, 0x44, 0x88, 0xcc})
+	f.Add(13, []byte{0x0f, 0x4f, 0x8f, 0xcf, 0x1f, 0x5f, 0x9f, 0xdf})
+	f.Fuzz(func(t *testing.T, specIdx int, trace []byte) {
+		if specIdx < 0 {
+			specIdx = -specIdx
+		}
+		spec := differentialSpecs[specIdx%len(differentialSpecs)]
+		factory, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		opt := factory()
+		ref, err := newReferencePolicy(spec)
+		if err != nil {
+			t.Fatalf("newReferencePolicy(%q): %v", spec, err)
+		}
+		const universe = 12
+		now := 0.0
+		resident := make(map[oodb.Item]bool)
+		for _, b := range trace {
+			it := oodb.ObjectItem(oodb.OID(int(b>>2) % universe))
+			now += float64(b & 0x03) // 0 keeps time still: exact ties
+			switch op := b >> 6; op {
+			case 0:
+				opt.OnInsert(it, now)
+				ref.OnInsert(it, now)
+				resident[it] = true
+			case 1:
+				// OnAccess and Remove require tracked items; fold the
+				// untracked case into an insert so every byte does work.
+				if !resident[it] {
+					opt.OnInsert(it, now)
+					ref.OnInsert(it, now)
+					resident[it] = true
+					break
+				}
+				opt.OnAccess(it, now)
+				ref.OnAccess(it, now)
+			case 2:
+				if !resident[it] {
+					break
+				}
+				opt.Remove(it)
+				ref.Remove(it)
+				delete(resident, it)
+			case 3:
+				vo, oko := opt.Victim(now)
+				vr, okr := ref.Victim(now)
+				if oko != okr || vo != vr {
+					t.Fatalf("%s: victim mismatch at t=%v: opt=(%v,%v) ref=(%v,%v)",
+						spec, now, vo, oko, vr, okr)
+				}
+				if oko {
+					opt.Remove(vo)
+					ref.Remove(vr)
+					delete(resident, vo)
+				}
+			}
+			if opt.Len() != ref.Len() {
+				t.Fatalf("%s: length mismatch: opt=%d ref=%d", spec, opt.Len(), ref.Len())
+			}
+		}
+		// Drain both caches, comparing the full eviction order.
+		for opt.Len() > 0 {
+			vo, _ := opt.Victim(now)
+			vr, _ := ref.Victim(now)
+			if vo != vr {
+				t.Fatalf("%s: drain mismatch at t=%v: opt=%v ref=%v", spec, now, vo, vr)
+			}
+			opt.Remove(vo)
+			ref.Remove(vr)
+			now += 1.0
 		}
 	})
 }

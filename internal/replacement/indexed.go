@@ -1,0 +1,524 @@
+package replacement
+
+// This file is the shared victim-selection engine behind the optimized
+// replacement policies: a slot table holding item state in flat value
+// slices, plus slot-keyed binary min-heaps walked by a bound-pruned search
+// that reproduces the reference scan's victim choice — including its
+// tie-breaking by scan position — without visiting every resident item.
+//
+// Correctness contract (differentially tested against the retained
+// scanCore reference in differential_test.go):
+//
+//   - Each policy partitions its slots into one or more classes and stores,
+//     per slot, a float64 heap key whose ascending order weakly refines the
+//     class's descending badness: key(a) < key(b) must imply
+//     badness(a, now) >= badness(b, now) for every query time now, under
+//     the exact floating-point evaluation the reference uses. Keys never
+//     have to *determine* the badness order — equal keys are always
+//     tie-visited — so lossy but monotone algebraic rearrangements are
+//     safe key choices.
+//   - classScorer.bound(key, now) upper-bounds the badness of every slot in
+//     the class whose key is >= the argument, and is monotone non-increasing
+//     in key; inexact bounds must build their own safety padding in (they
+//     are compared against the running best with no extra slack). The
+//     search walks the heap from the root and prunes a subtree exactly when
+//     its root's bound falls strictly below the current best, so bound ties
+//     are always visited.
+//   - Visited slots are scored with classScorer.eval, which evaluates the
+//     *exact* reference badness formula (states.go), so candidates are
+//     compared by reference semantics even where keys or bounds are
+//     approximate.
+//   - Badness ties resolve exactly like the reference scan: the smallest
+//     slot index wins a Victim search, and bulk Victims selection uses the
+//     reference's (score desc, slot asc) total order. Slot indices evolve
+//     exactly like scanCore's scan positions — removal swap-moves the last
+//     slot into the hole — so tie-breaks stay aligned between the two
+//     implementations.
+
+import (
+	"math"
+
+	"repro/internal/oodb"
+)
+
+// slotTable tracks items and their per-item state in flat parallel slices
+// ([]S values, not []*S pointers), indexed by a map for O(1) lookup.
+type slotTable[S any] struct {
+	items  []oodb.Item
+	states []S
+	index  map[oodb.Item]int32
+}
+
+func newSlotTable[S any]() slotTable[S] {
+	return slotTable[S]{index: make(map[oodb.Item]int32)}
+}
+
+func (t *slotTable[S]) len() int { return len(t.items) }
+
+func (t *slotTable[S]) lookup(it oodb.Item) (int32, bool) {
+	slot, ok := t.index[it]
+	return slot, ok
+}
+
+// add tracks a new item, returning its slot; ok is false (and the table
+// unchanged) when the item is already tracked.
+func (t *slotTable[S]) add(it oodb.Item, s S) (int32, bool) {
+	if _, ok := t.index[it]; ok {
+		return 0, false
+	}
+	slot := int32(len(t.items))
+	t.index[it] = slot
+	t.items = append(t.items, it)
+	t.states = append(t.states, s)
+	return slot, true
+}
+
+// remove untracks the item in slot by moving the last slot into the hole
+// (scanCore's swap-remove, so slot order keeps matching the reference
+// scan's positions). It returns the old slot id of the moved item, or -1.
+func (t *slotTable[S]) remove(slot int32) (moved int32) {
+	it := t.items[slot]
+	last := int32(len(t.items) - 1)
+	moved = -1
+	if slot != last {
+		t.items[slot] = t.items[last]
+		t.states[slot] = t.states[last]
+		t.index[t.items[slot]] = slot
+		moved = last
+	}
+	var zero S
+	t.items = t.items[:last]
+	t.states[last] = zero
+	t.states = t.states[:last]
+	delete(t.index, it)
+	return moved
+}
+
+// slotHeap is a binary min-heap over slot ids with cached float64 keys,
+// tie-broken by ascending slot id. pos and key are dense arrays indexed by
+// slot id (grown via grow); a slot may be absent (pos < 0), which lets a
+// policy spread its slots across several class heaps sharing one id space.
+type slotHeap struct {
+	order []int32   // heap array of slot ids
+	pos   []int32   // slot id -> position in order, or -1
+	key   []float64 // slot id -> cached key
+}
+
+func (h *slotHeap) len() int { return len(h.order) }
+
+// grow makes room for slot ids < n.
+func (h *slotHeap) grow(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
+		h.key = append(h.key, 0)
+	}
+}
+
+func (h *slotHeap) contains(slot int32) bool { return h.pos[slot] >= 0 }
+
+func (h *slotHeap) less(a, b int32) bool {
+	ka, kb := h.key[a], h.key[b]
+	return ka < kb || (ka == kb && a < b)
+}
+
+func (h *slotHeap) push(slot int32, key float64) {
+	h.key[slot] = key
+	h.pos[slot] = int32(len(h.order))
+	h.order = append(h.order, slot)
+	h.siftUp(h.pos[slot])
+}
+
+// update rewrites slot's key, pushing the slot if absent.
+func (h *slotHeap) update(slot int32, key float64) {
+	i := h.pos[slot]
+	if i < 0 {
+		h.push(slot, key)
+		return
+	}
+	old := h.key[slot]
+	h.key[slot] = key
+	if key < old {
+		h.siftUp(i)
+	} else if key > old {
+		h.siftDown(i)
+	}
+}
+
+// remove drops slot from the heap; absent slots are a no-op so policies can
+// blindly clear a slot from every class heap.
+func (h *slotHeap) remove(slot int32) {
+	i := h.pos[slot]
+	if i < 0 {
+		return
+	}
+	h.pos[slot] = -1
+	last := int32(len(h.order) - 1)
+	if i == last {
+		h.order = h.order[:last]
+		return
+	}
+	movedSlot := h.order[last]
+	h.order[i] = movedSlot
+	h.pos[movedSlot] = i
+	h.order = h.order[:last]
+	h.siftDown(i)
+	h.siftUp(h.pos[movedSlot])
+}
+
+// rename re-labels slot id from as to (the slot table swap-moved an item
+// into a freed slot). The key is unchanged but the slot tie-break changes,
+// so the entry is re-sifted in both directions. Absent slots are a no-op.
+func (h *slotHeap) rename(from, to int32) {
+	i := h.pos[from]
+	if i < 0 {
+		return
+	}
+	h.pos[from] = -1
+	h.key[to] = h.key[from]
+	h.pos[to] = i
+	h.order[i] = to
+	h.siftUp(i)
+	h.siftDown(h.pos[to])
+}
+
+func (h *slotHeap) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.order[i], h.order[parent]) {
+			return
+		}
+		h.order[i], h.order[parent] = h.order[parent], h.order[i]
+		h.pos[h.order[i]] = i
+		h.pos[h.order[parent]] = parent
+		i = parent
+	}
+}
+
+func (h *slotHeap) siftDown(i int32) {
+	n := int32(len(h.order))
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.order[l], h.order[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.order[r], h.order[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.order[i], h.order[smallest] = h.order[smallest], h.order[i]
+		h.pos[h.order[i]] = i
+		h.pos[h.order[smallest]] = smallest
+		i = smallest
+	}
+}
+
+// classScorer evaluates one class heap during a victim search. Implemented
+// by small per-class wrapper structs holding the policy pointer, built once
+// at construction so searches allocate nothing.
+type classScorer interface {
+	// bound returns an upper bound on the reference badness of every slot
+	// in this class whose heap key is at least key; it must be monotone
+	// non-increasing in key. Inexact bounds must include their own padding
+	// for float rearrangement error.
+	bound(key, now float64) float64
+	// cutoff inverts bound into key space: it returns a key threshold such
+	// that bound(key, now) >= best implies key <= cutoff(now, best). The
+	// search prunes subtrees by comparing cached keys against the cutoff —
+	// one float compare per node instead of re-deriving the bound — and
+	// recomputes the cutoff only when the running best improves. A cutoff
+	// may be loose upward (visiting extra slots is just slower), never
+	// tight downward; inexact inversions pad with padCutoff.
+	cutoff(now, best float64) float64
+	// eval returns the exact reference badness of slot at time now (it may
+	// lazily age the slot's state, like the reference scan does).
+	eval(slot int32, now float64) float64
+}
+
+// padCutoff nudges a bound-inversion result upward by a relative margin
+// (~4000 ulps over the magnitudes involved) so float rounding can only
+// widen the visited set, never narrow it past a slot whose bound still
+// reaches best.
+func padCutoff(c, now, best float64) float64 {
+	return c + 1e-12*(math.Abs(now)+math.Abs(best)+math.Abs(c)) + 1e-300
+}
+
+// victimSearch accumulates the best candidate across class heaps,
+// replicating the reference scan's "strictly greater badness wins, ties
+// keep the earliest scan position" rule.
+type victimSearch struct {
+	slot  int32
+	score float64
+	found bool
+}
+
+func (vs *victimSearch) offer(slot int32, score float64) {
+	if !vs.found || score > vs.score || (score == vs.score && slot < vs.slot) {
+		vs.slot, vs.score, vs.found = slot, score, true
+	}
+}
+
+// searchOne finds the class's contribution to the victim search. It walks
+// the heap from the root, pruning a subtree when its root's key exceeds the
+// cutoff derived from the running best (keys at the cutoff are always
+// visited, preserving reference tie-breaks). The cutoff is recomputed only
+// when the best improves, so the per-node prune test is a single float
+// compare. stack is caller-owned scratch, returned for reuse.
+//
+// When a DFS ends up visiting most of the class anyway (heavy score ties —
+// e.g. LRD before any item has aged past an interval — leave nothing to
+// prune), the per-node stack and key-compare overhead makes the walk
+// strictly worse than a flat sweep over the same slots. searchOne detects
+// that and switches the next few searches to sweepOne, re-probing with a
+// DFS afterwards in case the regime changed. Both paths score every
+// candidate with the same exact eval under the same total order
+// (score desc, slot asc), so the adaptive switch can never change which
+// victim is selected — it only changes how many slots are visited.
+func (ch *classHeap) searchOne(now float64, vs *victimSearch, stack []int32) []int32 {
+	h := &ch.heap
+	n := int32(len(h.order))
+	if n == 0 {
+		return stack
+	}
+	if ch.sweepBias > 0 {
+		ch.sweepBias--
+		ch.sweepOne(now, vs)
+		return stack
+	}
+	sc := ch.sc
+	cut := math.Inf(1)
+	if vs.found {
+		cut = sc.cutoff(now, vs.score)
+	}
+	visited := int32(0)
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		slot := h.order[i]
+		if h.key[slot] > cut {
+			continue // no slot in this subtree can beat the current best
+		}
+		visited++
+		prevFound, prevScore := vs.found, vs.score
+		vs.offer(slot, sc.eval(slot, now))
+		if !prevFound || vs.score > prevScore {
+			cut = sc.cutoff(now, vs.score)
+		}
+		if l := 2*i + 1; l < n {
+			stack = append(stack, l)
+			if r := l + 1; r < n {
+				stack = append(stack, r)
+			}
+		}
+	}
+	if visited*2 >= n {
+		ch.sweepBias = sweepRun
+	}
+	return stack
+}
+
+// sweepRun is how many searches run as flat sweeps after a DFS failed to
+// prune half the class, before the next DFS probe. High enough to amortize
+// the probe's overhead, low enough to notice quickly when pruning starts
+// working again.
+const sweepRun = 15
+
+// sweepOne is the tie-heavy fallback: a flat pass over the class's dense
+// slot array, scoring every slot with the same exact eval as the DFS.
+func (ch *classHeap) sweepOne(now float64, vs *victimSearch) {
+	sc := ch.sc
+	for _, slot := range ch.heap.order {
+		vs.offer(slot, sc.eval(slot, now))
+	}
+}
+
+// victimCand is one entry of the bulk-selection heap.
+type victimCand struct {
+	slot  int32
+	score float64
+}
+
+// candWeaker reports whether a is strictly weaker than b (evicted later)
+// under the reference's total order: score descending, slot ascending.
+func candWeaker(a, b victimCand) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.slot > b.slot
+}
+
+// selectWorst accumulates the n worst slots under the reference total
+// order; the root of cands is the weakest retained candidate. Because the
+// order is total (slot ids are unique), the selected set — and hence the
+// extraction order — is independent of visit order, so a heap DFS selects
+// exactly what the reference's slot-order scan selects.
+type selectWorst struct {
+	cands []victimCand
+	n     int
+}
+
+func (sw *selectWorst) offer(c victimCand) {
+	if len(sw.cands) < sw.n {
+		sw.cands = append(sw.cands, c)
+		i := len(sw.cands) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !candWeaker(sw.cands[i], sw.cands[p]) {
+				break
+			}
+			sw.cands[i], sw.cands[p] = sw.cands[p], sw.cands[i]
+			i = p
+		}
+		return
+	}
+	if !candWeaker(sw.cands[0], c) {
+		return
+	}
+	sw.cands[0] = c
+	sw.siftDown(0)
+}
+
+func (sw *selectWorst) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(sw.cands) && candWeaker(sw.cands[l], sw.cands[smallest]) {
+			smallest = l
+		}
+		if r < len(sw.cands) && candWeaker(sw.cands[r], sw.cands[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		sw.cands[i], sw.cands[smallest] = sw.cands[smallest], sw.cands[i]
+		i = smallest
+	}
+}
+
+// searchN is searchOne's bulk variant: it prunes a subtree only when the
+// selection heap is full and the subtree's keys are past the cutoff of the
+// weakest retained candidate.
+func searchN(h *slotHeap, sc classScorer, now float64, sw *selectWorst, stack []int32) []int32 {
+	n := int32(len(h.order))
+	if n == 0 {
+		return stack
+	}
+	cut := math.Inf(1)
+	weakest := math.Inf(1)
+	if len(sw.cands) == sw.n {
+		weakest = sw.cands[0].score
+		cut = sc.cutoff(now, weakest)
+	}
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		slot := h.order[i]
+		if h.key[slot] > cut {
+			continue
+		}
+		sw.offer(victimCand{slot: slot, score: sc.eval(slot, now)})
+		if len(sw.cands) == sw.n && sw.cands[0].score != weakest {
+			weakest = sw.cands[0].score
+			cut = sc.cutoff(now, weakest)
+		}
+		if l := 2*i + 1; l < n {
+			stack = append(stack, l)
+			if r := l + 1; r < n {
+				stack = append(stack, r)
+			}
+		}
+	}
+	return stack
+}
+
+// extractInto pops the selection heap weakest-first into out back-to-front,
+// yielding the reference's worst-first ordering. len(out) == len(sw.cands).
+func (sw *selectWorst) extractInto(items []oodb.Item, out []oodb.Item) {
+	for i := len(sw.cands) - 1; i >= 0; i-- {
+		out[i] = items[sw.cands[0].slot]
+		last := len(sw.cands) - 1
+		sw.cands[0] = sw.cands[last]
+		sw.cands = sw.cands[:last]
+		sw.siftDown(0)
+	}
+}
+
+// classHeap pairs one class's heap with its scorer, plus the adaptive
+// search state: sweepBias counts how many upcoming searches should use the
+// flat sweep instead of the DFS (see searchOne).
+type classHeap struct {
+	heap      slotHeap
+	sc        classScorer
+	sweepBias int32
+}
+
+// victimCore bundles the slot table, class heaps and search scratch shared
+// by the optimized policies. Policies embed it and wire classes at
+// construction time.
+type victimCore[S any] struct {
+	t       slotTable[S]
+	classes []classHeap
+	stack   []int32
+	cands   []victimCand
+}
+
+// grow sizes every class heap's dense arrays to the table.
+func (c *victimCore[S]) grow() {
+	n := len(c.t.items)
+	for i := range c.classes {
+		c.classes[i].heap.grow(n)
+	}
+}
+
+// victim returns the single worst item across all classes.
+func (c *victimCore[S]) victim(now float64) (oodb.Item, bool) {
+	if len(c.t.items) == 0 {
+		return oodb.Item{}, false
+	}
+	var vs victimSearch
+	for i := range c.classes {
+		c.stack = c.classes[i].searchOne(now, &vs, c.stack)
+	}
+	return c.t.items[vs.slot], true
+}
+
+// victims returns up to n items ordered worst-first.
+func (c *victimCore[S]) victims(now float64, n int) []oodb.Item {
+	if n <= 0 || len(c.t.items) == 0 {
+		return nil
+	}
+	if n == 1 {
+		it, _ := c.victim(now)
+		return []oodb.Item{it}
+	}
+	if n > len(c.t.items) {
+		n = len(c.t.items)
+	}
+	sw := selectWorst{cands: c.cands[:0], n: n}
+	for i := range c.classes {
+		ch := &c.classes[i]
+		c.stack = searchN(&ch.heap, ch.sc, now, &sw, c.stack)
+	}
+	out := make([]oodb.Item, len(sw.cands))
+	sw.extractInto(c.t.items, out)
+	c.cands = sw.cands[:0]
+	return out
+}
+
+// removeSlot untracks a slot from every class heap and the table, keeping
+// heap slot labels aligned with the table's swap-move.
+func (c *victimCore[S]) removeSlot(slot int32) {
+	for i := range c.classes {
+		c.classes[i].heap.remove(slot)
+	}
+	if moved := c.t.remove(slot); moved >= 0 {
+		for i := range c.classes {
+			c.classes[i].heap.rename(moved, slot)
+		}
+	}
+}

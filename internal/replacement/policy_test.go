@@ -157,7 +157,7 @@ func TestLRUKCorrelatedReferencesCollapse(t *testing.T) {
 	p := NewLRUKCRP(2, 100).(*lruK)
 	p.OnInsert(obj(1), 0)
 	p.OnAccess(obj(1), 10) // correlated: within 100s of the last access
-	s, _ := p.core.get(obj(1))
+	s := &p.arena[p.history[obj(1)]]
 	if s.ring.n != 1 {
 		t.Fatalf("correlated access pushed a reference: n=%d", s.ring.n)
 	}

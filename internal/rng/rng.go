@@ -133,15 +133,31 @@ func (r *Stream) Shuffle(n int, swap func(i, j int)) {
 // Sample returns k distinct values drawn uniformly from [0, n) in selection
 // order. It panics if k > n or k < 0.
 func (r *Stream) Sample(n, k int) []int {
+	return r.SampleInto(n, k, nil, nil)
+}
+
+// SampleInto is Sample with caller-provided scratch: idx and out are reused
+// when they have sufficient capacity (idx: n, out: k) and allocated
+// otherwise. The random draws are identical to Sample's. The returned slice
+// aliases out when it was reused.
+func (r *Stream) SampleInto(n, k int, idx, out []int) []int {
 	if k < 0 || k > n {
 		panic("rng: Sample with k out of range")
 	}
 	// Partial Fisher–Yates over an index table; O(n) space, O(k) swaps.
-	idx := make([]int, n)
+	if cap(idx) < n {
+		idx = make([]int, n)
+	} else {
+		idx = idx[:n]
+	}
 	for i := range idx {
 		idx[i] = i
 	}
-	out := make([]int, k)
+	if cap(out) < k {
+		out = make([]int, k)
+	} else {
+		out = out[:k]
+	}
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(n-i)
 		idx[i], idx[j] = idx[j], idx[i]

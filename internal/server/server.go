@@ -105,11 +105,11 @@ func (r Reply) WireSize() int { return WireSizeItems(r.Items) }
 // WireSizeItems returns the downstream wire size of a reply carrying the
 // given items (used by the timeout heuristic after shedding).
 func WireSizeItems(items []ReplyItem) int {
-	raw := make([]oodb.Item, len(items))
-	for i, it := range items {
-		raw[i] = it.Item
+	size := network.HeaderSize
+	for _, it := range items {
+		size += network.ReplyEntrySize(it.Item)
 	}
-	return network.ReplySize(raw)
+	return size
 }
 
 // Server is the database server simulation entity.
@@ -132,10 +132,37 @@ type Server struct {
 
 	heat map[int]*clientHeat // per-client attribute access profile
 
+	// scratch holds per-client request buffers. Each client has at most one
+	// outstanding request, but Process yields at disk/memory Holds, so
+	// buffers that live across a yield (the staging order, the reply items)
+	// must not be shared between clients.
+	scratch map[int]*reqScratch
+	// oidStamp/oidGen implement an O(1)-reset "seen" set for distinct-OID
+	// collection; oidIdx records each OID's position in the latest
+	// collected order (valid only while oidStamp[oid] == oidGen). The maps
+	// are only touched between yields, so sharing them across clients is
+	// safe.
+	oidStamp map[oodb.OID]uint64
+	oidIdx   map[oodb.OID]int32
+	oidGen   uint64
+	// attrBits holds per-distinct-OID shipped/updated attribute bitmaps,
+	// indexed in step with the current distinct-OID order (used only
+	// between yields).
+	attrBits []uint16
+	// prefetchBuf backs prefetchSet's result; consumed before the next call.
+	prefetchBuf []oodb.AttrID
+
 	queriesServed  uint64
 	diskReads      uint64
 	bufferHits     uint64
 	updatesApplied uint64
+}
+
+// reqScratch is one client's reusable request-processing storage.
+type reqScratch struct {
+	order     []oodb.OID  // distinct accessed OIDs, first-seen order
+	needOrder []oodb.OID  // distinct needed OIDs, first-seen order
+	items     []ReplyItem // reply assembly; consumed before the next request
 }
 
 // clientHeat tracks one client's primitive-attribute access counts, from
@@ -183,6 +210,9 @@ func New(cfg Config) *Server {
 		updateRnd:        rng.Derive(cfg.Seed, 0x5e7e7),
 		prefetchKappa:    kappa,
 		heat:             make(map[int]*clientHeat),
+		scratch:          make(map[int]*reqScratch),
+		oidStamp:         make(map[oodb.OID]uint64),
+		oidIdx:           make(map[oodb.OID]int32),
 	}
 }
 
@@ -203,19 +233,26 @@ func (s *Server) Process(p *sim.Proc, req Request) Reply {
 	s.queriesServed++
 	s.recordHeat(req)
 
+	sc := s.scratch[req.ClientID]
+	if sc == nil {
+		sc = &reqScratch{}
+		s.scratch[req.ClientID] = sc
+	}
+
 	// Stage every object the query evaluates over. The server must read
 	// each qualified object to evaluate predicates and project attributes,
 	// whether or not the client ended up needing it shipped.
-	for _, oid := range distinctOIDs(req.Accesses) {
+	sc.order = s.collectDistinct(req.Accesses, sc.order[:0])
+	for _, oid := range sc.order {
 		s.stageObject(p, oid)
 	}
 
 	// Update model (§4, sixth dimension): each object accessed by the
 	// query is updated with probability U; all attributes the query
 	// selected on that object are modified.
-	s.applyUpdates(p, req)
+	s.applyUpdates(p, req, sc.order)
 
-	return s.assembleReply(req)
+	return s.assembleReply(req, sc)
 }
 
 // stageObject brings oid into the memory buffer, paying disk or memory
@@ -231,15 +268,14 @@ func (s *Server) stageObject(p *sim.Proc, oid oodb.OID) {
 	s.buf.Put(oid, struct{}{})
 }
 
-// applyUpdates flips the per-object update coin and applies writes.
-func (s *Server) applyUpdates(p *sim.Proc, req Request) {
+// applyUpdates flips the per-object update coin and applies writes. order
+// is the distinct-OID first-seen order over req.Accesses. Per-object
+// attribute dedup uses a uint16 bitmap (queries only read the <= 12
+// declared attributes) over a linear rescan of the read set, preserving
+// the first-occurrence write order of the original map-based grouping.
+func (s *Server) applyUpdates(p *sim.Proc, req Request, order []oodb.OID) {
 	if s.updateProb == 0 {
 		return
-	}
-	byObject := make(map[oodb.OID][]oodb.AttrID)
-	order := distinctOIDs(req.Accesses)
-	for _, rd := range req.Accesses {
-		byObject[rd.OID] = append(byObject[rd.OID], rd.Attr)
 	}
 	now := p.Now()
 	for _, oid := range order {
@@ -247,23 +283,29 @@ func (s *Server) applyUpdates(p *sim.Proc, req Request) {
 			continue
 		}
 		s.updatesApplied++
-		seen := make(map[oodb.AttrID]bool)
-		for _, attr := range byObject[oid] {
-			if seen[attr] {
+		var seen uint16
+		for _, rd := range req.Accesses {
+			if rd.OID != oid {
 				continue
 			}
-			seen[attr] = true
-			s.db.Write(oid, attr)
-			s.refreshAttr.ObserveWrite(oodb.AttrItem(oid, attr), now)
+			bit := uint16(1) << rd.Attr
+			if seen&bit != 0 {
+				continue
+			}
+			seen |= bit
+			s.db.Write(oid, rd.Attr)
+			s.refreshAttr.ObserveWrite(oodb.AttrItem(oid, rd.Attr), now)
 		}
 		s.refreshObj.ObserveWrite(oodb.ObjectItem(oid), now)
 	}
 }
 
 // assembleReply builds the downstream items per granularity (§3.1.2–3.1.4).
-func (s *Server) assembleReply(req Request) Reply {
+// The returned Items alias sc.items: the client consumes the reply (copies
+// what it keeps) before issuing its next request.
+func (s *Server) assembleReply(req Request, sc *reqScratch) Reply {
 	now := s.kernel.Now()
-	var items []ReplyItem
+	items := sc.items[:0]
 
 	switch req.Granularity {
 	case core.AttributeCaching:
@@ -276,7 +318,8 @@ func (s *Server) assembleReply(req Request) Reply {
 		// OC: push all attributes of each qualified object — shipped as
 		// whole objects. NC ships the same way (a conventional object
 		// server); the client just has nowhere durable to cache them.
-		for _, oid := range distinctOIDs(req.Need) {
+		sc.needOrder = s.collectDistinct(req.Need, sc.needOrder[:0])
+		for _, oid := range sc.needOrder {
 			items = append(items, ReplyItem{
 				Item:    oodb.ObjectItem(oid),
 				Version: s.db.ObjectVersion(oid),
@@ -287,27 +330,38 @@ func (s *Server) assembleReply(req Request) Reply {
 	case core.HybridCaching:
 		// HC: requested attributes plus the prefetch set — attributes of
 		// qualified objects whose access probability clears the threshold.
+		// Shipped-set dedup uses one attribute bitmap per distinct needed
+		// OID, indexed in step with needOrder via the oidIdx side table.
 		prefetch := s.prefetchSet(req.ClientID)
-		shipped := make(map[oodb.Item]bool)
+		sc.needOrder = s.collectDistinct(req.Need, sc.needOrder[:0])
+		if cap(s.attrBits) < len(sc.needOrder) {
+			s.attrBits = make([]uint16, len(sc.needOrder))
+		}
+		bits := s.attrBits[:len(sc.needOrder)]
+		for i := range bits {
+			bits[i] = 0
+		}
 		for _, rd := range req.Need {
-			it := oodb.AttrItem(rd.OID, rd.Attr)
-			if shipped[it] {
+			i := s.oidIdx[rd.OID]
+			bit := uint16(1) << rd.Attr
+			if bits[i]&bit != 0 {
 				continue
 			}
-			shipped[it] = true
+			bits[i] |= bit
 			items = append(items, s.attrReplyItem(rd.OID, rd.Attr, now, false))
 		}
-		for _, oid := range distinctOIDs(req.Need) {
+		for i, oid := range sc.needOrder {
 			for _, attr := range prefetch {
-				it := oodb.AttrItem(oid, attr)
-				if shipped[it] {
+				bit := uint16(1) << attr
+				if bits[i]&bit != 0 {
 					continue
 				}
-				shipped[it] = true
+				bits[i] |= bit
 				items = append(items, s.attrReplyItem(oid, attr, now, true))
 			}
 		}
 	}
+	sc.items = items
 	return Reply{Items: items}
 }
 
@@ -347,7 +401,7 @@ func (s *Server) prefetchSet(clientID int) []oodb.AttrID {
 		return nil
 	}
 	var mu float64
-	rates := make([]float64, oodb.NumPrimAttrs)
+	var rates [oodb.NumPrimAttrs]float64
 	for i, c := range h.counts {
 		rates[i] = float64(c) / float64(h.total)
 		mu += rates[i]
@@ -359,12 +413,13 @@ func (s *Server) prefetchSet(clientID int) []oodb.AttrID {
 	}
 	variance /= oodb.NumPrimAttrs
 	threshold := mu + s.prefetchKappa*math.Sqrt(variance)
-	var out []oodb.AttrID
+	out := s.prefetchBuf[:0]
 	for i, r := range rates {
 		if r >= threshold {
 			out = append(out, oodb.AttrID(i))
 		}
 	}
+	s.prefetchBuf = out
 	return out
 }
 
@@ -372,14 +427,16 @@ func (s *Server) prefetchSet(clientID int) []oodb.AttrID {
 // (diagnostics and tests).
 func (s *Server) PrefetchSet(clientID int) []oodb.AttrID { return s.prefetchSet(clientID) }
 
-// distinctOIDs returns the distinct OIDs in reads, preserving first-seen
-// order (determinism for update application and reply layout).
-func distinctOIDs(reads []workload.ReadOp) []oodb.OID {
-	seen := make(map[oodb.OID]bool, len(reads))
-	var out []oodb.OID
+// collectDistinct appends the distinct OIDs in reads to out, preserving
+// first-seen order (determinism for update application and reply layout).
+// It bumps oidGen, so at most one collected order is "current" at a time;
+// callers that need the order across a yield keep the returned slice.
+func (s *Server) collectDistinct(reads []workload.ReadOp, out []oodb.OID) []oodb.OID {
+	s.oidGen++
 	for _, rd := range reads {
-		if !seen[rd.OID] {
-			seen[rd.OID] = true
+		if s.oidStamp[rd.OID] != s.oidGen {
+			s.oidStamp[rd.OID] = s.oidGen
+			s.oidIdx[rd.OID] = int32(len(out))
 			out = append(out, rd.OID)
 		}
 	}

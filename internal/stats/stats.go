@@ -138,10 +138,24 @@ type Window struct {
 
 // NewWindow returns a window of the given size. It panics if size <= 0.
 func NewWindow(size int) *Window {
+	w := MakeWindow(size)
+	return &w
+}
+
+// MakeWindow returns a window of the given size by value, for callers that
+// embed windows in slices or pools instead of holding per-window pointers.
+// It panics if size <= 0.
+func MakeWindow(size int) Window {
 	if size <= 0 {
 		panic("stats: Window size must be positive")
 	}
-	return &Window{buf: make([]float64, size)}
+	return Window{buf: make([]float64, size)}
+}
+
+// Reset discards all observations but keeps the backing buffer, so a pooled
+// window can be reused without reallocating.
+func (w *Window) Reset() {
+	w.head, w.n, w.sum = 0, 0, 0
 }
 
 // Add pushes one observation, evicting the oldest if the window is full.

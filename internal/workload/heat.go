@@ -26,6 +26,10 @@ type HeatModel interface {
 	Name() string
 	// Pick returns n distinct object ids accessed by query queryIndex.
 	Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID
+	// PickInto is Pick appending into buf[:0] (which may be nil). The
+	// random draws are identical to Pick's; only the backing storage of
+	// the result differs.
+	PickInto(r *rng.Stream, n int, queryIndex uint64, buf []oodb.OID) []oodb.OID
 }
 
 // skewedHeat implements the SH pattern: a fixed random 20% hot set receives
@@ -68,36 +72,55 @@ func newSkewed(numObjects int, r *rng.Stream) *skewedHeat {
 
 func (h *skewedHeat) Name() string { return "sh" }
 
-func (h *skewedHeat) Pick(r *rng.Stream, n int, _ uint64) []oodb.OID {
-	return pickSkewed(r, n, h.hot, h.cold)
+func (h *skewedHeat) Pick(r *rng.Stream, n int, qi uint64) []oodb.OID {
+	return h.PickInto(r, n, qi, nil)
+}
+
+func (h *skewedHeat) PickInto(r *rng.Stream, n int, _ uint64, buf []oodb.OID) []oodb.OID {
+	return pickSkewed(r, n, h.hot, h.cold, buf)
 }
 
 // pickSkewed draws n distinct OIDs, each independently from the hot set
-// with probability HotAccessProb, uniform within its set.
-func pickSkewed(r *rng.Stream, n int, hot, cold []oodb.OID) []oodb.OID {
+// with probability HotAccessProb, uniform within its set, appending into
+// buf[:0]. Dedup is a linear scan over the (small) result, which consumes
+// no randomness, so the draw sequence matches the original map-based
+// implementation exactly.
+func pickSkewed(r *rng.Stream, n int, hot, cold, buf []oodb.OID) []oodb.OID {
 	if n > len(hot)+len(cold) {
 		panic(fmt.Sprintf("workload: query selectivity %d exceeds population %d",
 			n, len(hot)+len(cold)))
 	}
-	out := make([]oodb.OID, 0, n)
-	seen := make(map[oodb.OID]bool, n)
+	out := buf[:0]
 	for len(out) < n {
-		var pool []oodb.OID
-		if r.Bool(HotAccessProb) && len(hot) > 0 {
-			pool = hot
-		} else {
-			pool = cold
-		}
-		if len(pool) == 0 {
-			pool = hot
-		}
-		oid := pool[r.Intn(len(pool))]
-		if !seen[oid] {
-			seen[oid] = true
+		oid := pickOneSkewed(r, hot, cold)
+		if !containsOID(out, oid) {
 			out = append(out, oid)
 		}
 	}
 	return out
+}
+
+// pickOneSkewed performs a single skewed draw (one Bool, one Intn).
+func pickOneSkewed(r *rng.Stream, hot, cold []oodb.OID) oodb.OID {
+	var pool []oodb.OID
+	if r.Bool(HotAccessProb) && len(hot) > 0 {
+		pool = hot
+	} else {
+		pool = cold
+	}
+	if len(pool) == 0 {
+		pool = hot
+	}
+	return pool[r.Intn(len(pool))]
+}
+
+func containsOID(s []oodb.OID, oid oodb.OID) bool {
+	for _, v := range s {
+		if v == oid {
+			return true
+		}
+	}
+	return false
 }
 
 // changingSkewedHeat implements the CSH pattern: the 20% hot set is
@@ -135,11 +158,15 @@ func (m *changingSkewedHeat) Name() string {
 }
 
 func (m *changingSkewedHeat) Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID {
+	return m.PickInto(r, n, queryIndex, nil)
+}
+
+func (m *changingSkewedHeat) PickInto(r *rng.Stream, n int, queryIndex uint64, buf []oodb.OID) []oodb.OID {
 	if epoch := queryIndex / m.changeEvery; epoch != m.epoch {
 		m.epoch = epoch
 		m.cur = m.buildEpoch(epoch)
 	}
-	return m.cur.Pick(r, n, queryIndex)
+	return m.cur.PickInto(r, n, queryIndex, buf)
 }
 
 // CyclicConfig parameterizes the cyclic access pattern of the LRU-k
@@ -171,6 +198,10 @@ type cyclicHeat struct {
 	noise        []oodb.OID
 	loopPerQuery int
 	burst        uint64
+	// Scratch for SampleInto; a heat model belongs to one client, so the
+	// buffers are never used concurrently.
+	sampleIdx []int
+	sampleOut []int
 }
 
 // NewCyclicHeat builds the cyclic pattern.
@@ -203,6 +234,7 @@ func NewCyclicHeat(cfg CyclicConfig) HeatModel {
 			h.noise = append(h.noise, oodb.OID(idx))
 		}
 	}
+	h.sampleIdx = make([]int, len(h.noise))
 	return h
 }
 
@@ -214,7 +246,11 @@ func (m *cyclicHeat) Period() uint64 {
 }
 
 func (m *cyclicHeat) Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID {
-	out := make([]oodb.OID, 0, n)
+	return m.PickInto(r, n, queryIndex, nil)
+}
+
+func (m *cyclicHeat) PickInto(r *rng.Stream, n int, queryIndex uint64, buf []oodb.OID) []oodb.OID {
+	out := buf[:0]
 	// Loop window: advances every Burst queries, wraps around the pool.
 	k := m.loopPerQuery
 	if k > n {
@@ -229,7 +265,8 @@ func (m *cyclicHeat) Pick(r *rng.Stream, n int, queryIndex uint64) []oodb.OID {
 	if rest > len(m.noise) {
 		rest = len(m.noise)
 	}
-	for _, j := range r.Sample(len(m.noise), rest) {
+	m.sampleOut = r.SampleInto(len(m.noise), rest, m.sampleIdx, m.sampleOut)
+	for _, j := range m.sampleOut {
 		out = append(out, m.noise[j])
 	}
 	return out
@@ -280,18 +317,19 @@ func NewSharedSkewedHeat(numObjects int, seed, clientSeed uint64,
 func (h *sharedSkewedHeat) Name() string { return "shared-sh" }
 
 func (h *sharedSkewedHeat) Pick(r *rng.Stream, n int, qi uint64) []oodb.OID {
-	out := make([]oodb.OID, 0, n)
-	seen := make(map[oodb.OID]bool, n)
+	return h.PickInto(r, n, qi, nil)
+}
+
+func (h *sharedSkewedHeat) PickInto(r *rng.Stream, n int, _ uint64, buf []oodb.OID) []oodb.OID {
+	out := buf[:0]
 	for len(out) < n {
 		var oid oodb.OID
 		if r.Bool(h.shareProb) {
 			oid = h.shared[r.Intn(len(h.shared))]
 		} else {
-			picks := h.private.Pick(r, 1, qi)
-			oid = picks[0]
+			oid = pickOneSkewed(r, h.private.hot, h.private.cold)
 		}
-		if !seen[oid] {
-			seen[oid] = true
+		if !containsOID(out, oid) {
 			out = append(out, oid)
 		}
 	}

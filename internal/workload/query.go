@@ -70,6 +70,7 @@ type QueryGen struct {
 	selectivity int
 	attrsPerObj int
 	count       uint64
+	attrScratch []oodb.AttrID // reused by pickAttrs; consumed before the next call
 }
 
 // QueryGenConfig parameterizes a generator; zero values select defaults.
@@ -127,9 +128,19 @@ func (g *QueryGen) Count() uint64 { return g.count }
 
 // Next generates the next query using the client's stream r.
 func (g *QueryGen) Next(r *rng.Stream) Query {
-	q := Query{Index: g.count, Kind: g.kind}
+	var q Query
+	g.NextInto(r, &q)
+	return q
+}
+
+// NextInto generates the next query into q, reusing q's Objects and Reads
+// backing storage. The random draws are identical to Next's.
+func (g *QueryGen) NextInto(r *rng.Stream, q *Query) {
+	q.Index = g.count
+	q.Kind = g.kind
 	g.count++
-	q.Objects = g.heat.Pick(r, g.selectivity, q.Index)
+	q.Objects = g.heat.PickInto(r, g.selectivity, q.Index, q.Objects)
+	q.Reads = q.Reads[:0]
 	for _, oid := range q.Objects {
 		for _, attr := range g.pickAttrs(r) {
 			q.Reads = append(q.Reads, ReadOp{OID: oid, Attr: attr})
@@ -144,13 +155,16 @@ func (g *QueryGen) Next(r *rng.Stream) Query {
 			}
 		}
 	}
-	return q
 }
 
 // pickAttrs draws Q_a distinct primitive attributes from the skewed
-// distribution.
+// distribution. The returned slice aliases the generator's scratch buffer
+// and is only valid until the next call.
 func (g *QueryGen) pickAttrs(r *rng.Stream) []oodb.AttrID {
-	out := make([]oodb.AttrID, 0, g.attrsPerObj)
+	if g.attrScratch == nil {
+		g.attrScratch = make([]oodb.AttrID, 0, g.attrsPerObj)
+	}
+	out := g.attrScratch[:0]
 	var seen [oodb.NumPrimAttrs]bool
 	for len(out) < g.attrsPerObj {
 		a := oodb.AttrID(g.attrDist.Draw(r))
@@ -159,6 +173,7 @@ func (g *QueryGen) pickAttrs(r *rng.Stream) []oodb.AttrID {
 			out = append(out, a)
 		}
 	}
+	g.attrScratch = out
 	return out
 }
 

@@ -1,33 +1,31 @@
 #!/usr/bin/env bash
 # bench.sh — run the performance-engine benchmarks and record the results.
 #
-# Runs the kernel micro-benchmarks (ns/event and allocs/event of the
-# discrete-event core) and the parallel sweep benchmark (wall-clock of a
-# 16-config evaluation slice at pool sizes 1/2/4/8) with -benchmem, prints
-# the usual go test output, and writes a machine-readable summary to
-# BENCH_kernel.json at the repo root.
+# Two suites, each with its own machine-readable summary at the repo root:
+#
+#   kernel  ns/event and allocs/event of the discrete-event core, plus the
+#           parallel sweep benchmark (wall-clock of a 16-config evaluation
+#           slice at pool sizes 1/2/4/8)          -> BENCH_kernel.json
+#   model   the replacement-policy hot path: ns/access, ns/victim and the
+#           full eviction cycle for every indexed policy against its
+#           retained scanCore reference twin       -> BENCH_model.json
 #
 # Environment knobs:
-#   BENCH_TIME   go -benchtime for the kernel benches (default 200x)
-#   BENCH_COUNT  go -count repetitions               (default 1)
-#   SKIP_SWEEP   non-empty skips the (slow) full-sweep benchmark
+#   BENCH_TIME        go -benchtime for the kernel benches   (default 200x)
+#   BENCH_MODEL_TIME  go -benchtime for the model benches    (default 20000x)
+#   BENCH_COUNT       go -count repetitions                  (default 1)
+#   SKIP_SWEEP        non-empty skips the (slow) full-sweep benchmark
+#   SKIP_MODEL        non-empty skips the model suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-200x}"
+BENCH_MODEL_TIME="${BENCH_MODEL_TIME:-20000x}"
 BENCH_COUNT="${BENCH_COUNT:-1}"
 
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
-
-go test -run '^$' -bench 'Kernel' -benchmem \
-    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/sim | tee "$raw"
-
-if [ -z "${SKIP_SWEEP:-}" ]; then
-    go test -run '^$' -bench 'FullSweep' -benchtime 1x . | tee -a "$raw"
-fi
-
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# emit_json RAW OUT — distill `go test -bench` output into a JSON summary.
+emit_json() {
+    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
@@ -48,6 +46,31 @@ END {
     for (i = 1; i <= n; i++)
         printf("%s%s\n", entries[i], i < n ? "," : "")
     printf("  ]\n}\n")
-}' "$raw" > BENCH_kernel.json
+}' "$1" > "$2"
+    echo "wrote $2 ($(grep -c '"name"' "$2") benchmarks)"
+}
 
-echo "wrote BENCH_kernel.json ($(grep -c '"name"' BENCH_kernel.json) benchmarks)"
+raw="$(mktemp)"
+sweep="$(mktemp)"
+trap 'rm -f "$raw" "$sweep"' EXIT
+
+# The full-sweep benchmark (a 16-config evaluation slice on the parallel
+# runner) runs once and lands in both summaries: it is the kernel suite's
+# wall-clock anchor and the model suite's end-to-end proof that hot-path
+# wins survive composition into whole simulations.
+if [ -z "${SKIP_SWEEP:-}" ]; then
+    go test -run '^$' -bench 'FullSweep' -benchmem -benchtime 1x . | tee "$sweep"
+fi
+
+go test -run '^$' -bench 'Kernel' -benchmem \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/sim | tee "$raw"
+cat "$sweep" >> "$raw"
+emit_json "$raw" BENCH_kernel.json
+
+if [ -z "${SKIP_MODEL:-}" ]; then
+    go test -run '^$' -bench 'Model' -benchmem \
+        -benchtime "$BENCH_MODEL_TIME" -count "$BENCH_COUNT" \
+        ./internal/replacement | tee "$raw"
+    cat "$sweep" >> "$raw"
+    emit_json "$raw" BENCH_model.json
+fi
