@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench clean
+.PHONY: build vet test race lintdocs verify bench clean
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,12 @@ test:
 race:
 	$(GO) test -race ./internal/experiment ./internal/sim
 
+# Docs gate: every package must carry a package comment.
+lintdocs:
+	scripts/lintdocs.sh
+
 # Tier-1 verify: what every PR must keep green.
-verify: build vet test race
+verify: build vet test race lintdocs
 
 # Kernel micro-benchmarks + the parallel sweep benchmark + the replacement
 # model suite, with allocation counts; machine-readable results land in

@@ -9,6 +9,7 @@
 //	mcsim -exp 4          # Figures 5+6: CSH change rates and cyclic
 //	mcsim -exp 5          # Figure 7: coherence (beta x U)
 //	mcsim -exp 6          # Figure 8: disconnection (D x V)
+//	mcsim -exp 7          # beyond the paper: unreliable channels (loss x G x coherence)
 //	mcsim -exp table1     # Table 1: parameter settings
 //	mcsim -exp all        # everything
 //
@@ -21,6 +22,12 @@
 //
 //	mcsim -run -granularity hc -policy ewma-0.5 -kind NQ -heat csh \
 //	      -arrival bursty -update 0.3 -beta 1 -days 2
+//
+// Simulate unreliable channels (deterministic fault injection + client
+// retry/backoff; see DESIGN.md §9):
+//
+//	mcsim -run -granularity hc -loss 0.1 -retry 3          # 10% frame loss
+//	mcsim -run -granularity ac -loss 0.05 -burst 0.2       # plus burst outages
 package main
 
 import (
@@ -39,7 +46,7 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "experiment to regenerate: 1..6, table1, or all")
+		expFlag  = flag.String("exp", "", "experiment to regenerate: 1..7, table1, or all")
 		quick    = flag.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
 		runOne   = flag.Bool("run", false, "run a single custom configuration")
 		parallel = flag.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
@@ -68,6 +75,13 @@ func main() {
 		shareProb   = flag.Float64("shareprob", 0, "probability a pick comes from the shared pool")
 		bcastAttrs  = flag.Int("broadcast", 0, "broadcast the shared pool's top-N attrs (requires -shared)")
 
+		lossRate   = flag.Float64("loss", 0, "per-frame loss probability on each channel (0 = perfect)")
+		corrupt    = flag.Float64("corrupt", 0, "per-frame corruption probability (CRC-detected at receiver)")
+		burst      = flag.Float64("burst", 0, "fraction of time in burst outage (Gilbert-Elliott bad state)")
+		burstLen   = flag.Float64("burstlen", 0, "mean burst-outage length in seconds (0 = default 10)")
+		retryMax   = flag.Int("retry", 0, "max retransmissions per request (0 = default 3, negative = none)")
+		backoff    = flag.Float64("backoff", 0, "base retry backoff in seconds (0 = default 1)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -95,6 +109,7 @@ func main() {
 		cfg.SharedHotObjects = *sharedHot
 		cfg.SharedHotProb = *shareProb
 		cfg.BroadcastAttrs = *bcastAttrs
+		applyFaultFlags(&cfg, *lossRate, *corrupt, *burst, *burstLen, *retryMax, *backoff)
 		switch *coherenceS {
 		case "lease":
 			cfg.Coherence = coherence.LeaseStrategy
@@ -128,6 +143,7 @@ func main() {
 		printResult(res)
 	case *expFlag != "":
 		base := experiment.Config{Seed: *seed, Days: *days, NumClients: *clients, NumObjects: *objects}
+		applyFaultFlags(&base, *lossRate, *corrupt, *burst, *burstLen, *retryMax, *backoff)
 		if *quick && base.Days == 0 {
 			base.Days = 1
 		}
@@ -143,6 +159,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcsim:", err)
 	os.Exit(1)
+}
+
+// applyFaultFlags threads the unreliable-channel flags into a config. For
+// -exp sweeps they become the base every run inherits (Exp7 overrides the
+// loss/burst knobs it sweeps); all-zero flags leave the config untouched,
+// preserving the byte-identical perfect-channel tables.
+func applyFaultFlags(cfg *experiment.Config, loss, corrupt, burst, burstLen float64,
+	retryMax int, backoff float64) {
+
+	cfg.LossRate = loss
+	cfg.CorruptRate = corrupt
+	cfg.BurstFraction = burst
+	cfg.MeanBadSeconds = burstLen
+	cfg.RetryMax = retryMax
+	cfg.RetryBackoff = backoff
 }
 
 func buildConfig(gran, policy, kind, heat, arrival string, changeRate int,
@@ -222,6 +253,12 @@ func printResult(res experiment.Result) {
 	if res.CacheDrops > 0 {
 		fmt.Printf("cache drops    %d (missed invalidation reports)\n", res.CacheDrops)
 	}
+	if res.FramesLost > 0 || res.FramesCorrupted > 0 || res.Retries > 0 {
+		fmt.Printf("channel faults %d frames lost, %d corrupted\n",
+			res.FramesLost, res.FramesCorrupted)
+		fmt.Printf("reliability    %d retries, %d timeouts, %d degraded reads; access errors %.2f%%\n",
+			res.Retries, res.Timeouts, res.DegradedReads, 100*res.AccessErrorRate)
+	}
 }
 
 func runExperiments(which string, base experiment.Config, quick bool) error {
@@ -262,8 +299,15 @@ func runExperiments(which string, base experiment.Config, quick bool) error {
 			add("Experiment #6 (Figure 8)", func() fmt.Stringer { return experiment.Exp6(base) })
 		}
 	}
+	if want("7") {
+		if quick {
+			add("Experiment #7 (unreliable channels, quick grid)", func() fmt.Stringer { return experiment.Exp7Quick(base) })
+		} else {
+			add("Experiment #7 (unreliable channels)", func() fmt.Stringer { return experiment.Exp7(base) })
+		}
+	}
 	if len(jobs) == 0 {
-		return fmt.Errorf("unknown experiment %q (want 1..6, table1, all)", which)
+		return fmt.Errorf("unknown experiment %q (want 1..7, table1, all)", which)
 	}
 	for _, j := range jobs {
 		start := time.Now()

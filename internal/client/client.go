@@ -93,6 +93,16 @@ type Config struct {
 	FixedLease float64
 	// Tracer receives one record per completed query (nil = no tracing).
 	Tracer trace.Tracer
+	// UpFaults / DownFaults attach unreliable-channel fault models to the
+	// two wireless directions (nil = perfect channel). Attaching either
+	// enables the reliability layer: timeout, bounded retransmission with
+	// exponential backoff, and graceful degradation to stale cache copies
+	// (see retry.go and DESIGN.md §9). With both nil the §4 round-trip
+	// flow is untouched.
+	UpFaults, DownFaults *network.FaultModel
+	// Retry tunes the reliability layer; zero fields select the defaults.
+	// Ignored when no fault model is attached.
+	Retry RetryConfig
 	// Broadcast is an optional push-based dissemination program (§1 of
 	// the paper): reads covered by the program are answered from the air
 	// instead of the point-to-point channels.
@@ -134,6 +144,16 @@ type Client struct {
 	irLastSeq     uint64
 	irSynced      bool // whether the client saw the previous report
 	irDrops       uint64
+
+	// Reliability layer (retry.go); active only when a fault model is
+	// attached to at least one channel direction.
+	upFaults, downFaults *network.FaultModel
+	retry                RetryConfig
+	retryRnd             *rng.Stream
+	replyEstimate        int // running reply-size estimate for the timeout
+	retries              uint64
+	timeouts             uint64
+	degradedReads        uint64
 
 	diskSecPerByte float64
 	memSecPerByte  float64
@@ -230,6 +250,11 @@ func New(cfg Config) *Client {
 		fixedLease:     fixedLease,
 		tracer:         cfg.Tracer,
 		bcast:          cfg.Broadcast,
+		upFaults:       cfg.UpFaults,
+		downFaults:     cfg.DownFaults,
+		retry:          cfg.Retry.withDefaults(),
+		retryRnd:       rng.Derive(cfg.Seed, 0x4e7247+uint64(cfg.ID)),
+		replyEstimate:  DefaultReplyEstimateBytes,
 		diskSecPerByte: 8 / diskBps,
 		memSecPerByte:  8 / memBps,
 	}
@@ -418,7 +443,19 @@ func (c *Client) processQuery(p *sim.Proc, q *workload.Query, issuedAt float64) 
 
 	remote := connected && len(need) > 0
 	if remote {
-		rec.RequestBytes, rec.ReplyBytes = c.fetchRemote(p, q, need, existent)
+		if c.faulted() {
+			var retries int
+			var delivered bool
+			rec.RequestBytes, rec.ReplyBytes, retries, delivered =
+				c.fetchRemoteFaulty(p, q, need, existent)
+			rec.Retries = retries
+			if !delivered {
+				rec.TimedOut = true
+				c.serveDegraded(p.Now(), need, &rec)
+			}
+		} else {
+			rec.RequestBytes, rec.ReplyBytes = c.fetchRemote(p, q, need, existent)
+		}
 	}
 	if len(fromAir) > 0 {
 		c.receiveBroadcast(p, fromAir)
@@ -539,6 +576,13 @@ func (c *Client) fetchRemote(p *sim.Proc, q *workload.Query, need []workload.Rea
 		return replyBytes
 	})
 
+	c.installReply(p, need, items)
+	return reqBytes, replyBytes
+}
+
+// installReply caches a delivered reply's items and records the served
+// reads. Shared by the perfect-channel and reliability-layer round trips.
+func (c *Client) installReply(p *sim.Proc, need []workload.ReadOp, items []server.ReplyItem) {
 	now := p.Now()
 	batch := c.scratchBatch[:0]
 	for _, item := range items {
@@ -574,5 +618,4 @@ func (c *Client) fetchRemote(p *sim.Proc, q *workload.Query, need []workload.Rea
 		c.m.RecordAccess(now, false)
 		c.m.RecordError(now, false)
 	}
-	return reqBytes, replyBytes
 }

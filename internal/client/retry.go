@@ -1,0 +1,223 @@
+package client
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is the client half of the unreliable-channel model (DESIGN.md
+// §9): when fault models are attached to the wireless channels, every
+// remote round trip runs through a timeout/retransmission loop with
+// exponential backoff, and a query whose retries are exhausted degrades to
+// serving whatever cached copies the client holds — stale or not — exactly
+// as disconnected operation (§5.6) would. With no fault models attached,
+// none of this code runs and the round trip is the untouched §4 flow.
+
+// Reliability-layer defaults. The timeout is derived from message sizes and
+// the channel bandwidth rather than fixed, so it adapts to reply size; the
+// slack absorbs server processing and queueing behind other clients.
+const (
+	// DefaultMaxRetries is how many times a request is retransmitted after
+	// the initial attempt before the client gives up.
+	DefaultMaxRetries = 3
+	// DefaultBackoffBase is the first retransmission delay in seconds;
+	// attempt k waits base·2^(k−1), jittered.
+	DefaultBackoffBase = 1.0
+	// DefaultBackoffMax caps the exponential backoff delay.
+	DefaultBackoffMax = 30.0
+	// DefaultTimeoutSlack multiplies the estimated request+reply transfer
+	// time to produce the per-request timeout.
+	DefaultTimeoutSlack = 3.0
+	// DefaultReplyEstimateBytes seeds the reply-size estimate used by the
+	// timeout before the first reply has been observed.
+	DefaultReplyEstimateBytes = 2048
+)
+
+// RetryConfig tunes the reliability layer. The zero value selects the
+// defaults above; MaxRetries < 0 disables retransmission entirely (one
+// attempt, then degrade).
+type RetryConfig struct {
+	MaxRetries   int
+	BackoffBase  float64
+	BackoffMax   float64
+	TimeoutSlack float64
+}
+
+// withDefaults resolves zero fields.
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.MaxRetries == 0 {
+		r.MaxRetries = DefaultMaxRetries
+	}
+	if r.MaxRetries < 0 {
+		r.MaxRetries = 0
+	}
+	if r.BackoffBase == 0 {
+		r.BackoffBase = DefaultBackoffBase
+	}
+	if r.BackoffMax == 0 {
+		r.BackoffMax = DefaultBackoffMax
+	}
+	if r.TimeoutSlack == 0 {
+		r.TimeoutSlack = DefaultTimeoutSlack
+	}
+	return r
+}
+
+// faulted reports whether the reliability layer is active.
+func (c *Client) faulted() bool { return c.upFaults != nil || c.downFaults != nil }
+
+// transmit judges one frame on a possibly-perfect channel direction.
+func transmit(m *network.FaultModel, now float64) network.FaultOutcome {
+	if m == nil {
+		return network.FrameDelivered
+	}
+	return m.Transmit(now)
+}
+
+// requestTimeout derives the per-request timeout from the request size, the
+// running reply-size estimate, and the channel bandwidths.
+func (c *Client) requestTimeout(reqBytes int) float64 {
+	return c.retry.TimeoutSlack *
+		(c.up.TransferTime(reqBytes) + c.down.TransferTime(c.replyEstimate))
+}
+
+// fetchRemoteFaulty is fetchRemote under the reliability layer: the round
+// trip is attempted up to 1+MaxRetries times; frames lost or corrupted on
+// either channel cost the attempt, the client waits out the remainder of
+// its timeout, backs off exponentially with jitter, and retransmits. The
+// whole request is retried, so a reply lost downstream makes the server
+// process (and possibly update) the same query again — retransmission is
+// not idempotent, just like a real stateless datagram exchange.
+//
+// Returns ok = false when every attempt failed; the caller then serves the
+// query from stale cache copies via serveDegraded.
+func (c *Client) fetchRemoteFaulty(p *sim.Proc, q *workload.Query, need []workload.ReadOp,
+	existent int) (reqBytes, replyBytes, retries int, ok bool) {
+
+	req := server.Request{
+		ClientID:        c.id,
+		Granularity:     c.granularity,
+		Accesses:        q.Reads,
+		Need:            need,
+		ExistentEntries: existent,
+	}
+	reqBytes = req.WireSize()
+
+	for attempt := 0; ; attempt++ {
+		deadline := p.Now() + c.requestTimeout(reqBytes)
+
+		c.up.Send(p, reqBytes)
+		c.energyJoules += network.TxEnergy(reqBytes)
+		if transmit(c.upFaults, p.Now()) == network.FrameDelivered {
+			reply := c.srv.Process(p, req)
+			items := reply.Items
+			delivered := 0
+			c.down.SendDeferred(p, func(waited float64) int {
+				if c.shedThreshold > 0 && waited > c.shedThreshold {
+					kept := c.scratchKept[:0]
+					for _, it := range items {
+						if !it.Prefetched {
+							kept = append(kept, it)
+						}
+					}
+					c.shedItems += uint64(len(items) - len(kept))
+					c.scratchKept = kept
+					items = kept
+				}
+				delivered = server.WireSizeItems(items)
+				return delivered
+			})
+			switch transmit(c.downFaults, p.Now()) {
+			case network.FrameDelivered:
+				c.energyJoules += network.RxEnergy(delivered)
+				c.replyEstimate = delivered
+				c.installReply(p, need, items)
+				return reqBytes, delivered, retries, true
+			case network.FrameCorrupted:
+				// The frame arrived and was received in full before the CRC
+				// check rejected it: the radio energy is spent.
+				c.energyJoules += network.RxEnergy(delivered)
+			}
+			// FrameLost: nothing arrived, nothing received.
+		}
+
+		// The attempt failed somewhere; the client detects it when its
+		// timeout expires (or immediately, if the exchange already overran
+		// the timeout while queueing).
+		if p.Now() < deadline {
+			p.HoldUntil(deadline)
+		}
+		c.timeouts++
+		c.m.RecordTimeout(p.Now())
+		if attempt >= c.retry.MaxRetries {
+			return reqBytes, 0, retries, false
+		}
+		retries++
+		c.m.RecordRetry(p.Now())
+		backoff := c.retry.BackoffBase * math.Pow(2, float64(attempt))
+		if backoff > c.retry.BackoffMax {
+			backoff = c.retry.BackoffMax
+		}
+		// Jitter in [0.5, 1.5)× the nominal delay decorrelates the
+		// retransmissions of clients that lost frames in the same burst.
+		p.Hold(backoff * (0.5 + c.retryRnd.Float64()))
+	}
+}
+
+// serveDegraded answers the reads of a failed round trip from whatever the
+// client still holds: a cached copy — typically expired, or it would have
+// been a hit — is served and checked against the oracle like any stale
+// read; a read with no copy at all is unavailable. This is the graceful-
+// degradation half of the reliability layer: the lease β already encodes
+// how much staleness the client tolerates, and these copies carry exactly
+// the leases that policy produced (see DESIGN.md §9.3).
+func (c *Client) serveDegraded(now float64, need []workload.ReadOp, rec *trace.QueryRecord) {
+	for _, rd := range need {
+		item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
+		entry, found := c.peekLocal(item)
+		if !found {
+			c.m.RecordAccess(now, false)
+			c.m.RecordUnavailable(now)
+			rec.Unavailable++
+			continue
+		}
+		isErr := c.oracle.IsError(item, entry.Version)
+		c.m.RecordAccess(now, false)
+		c.m.RecordError(now, isErr)
+		c.m.RecordDegraded(now)
+		c.degradedReads++
+		rec.Stale++
+		rec.Degraded++
+		if isErr {
+			rec.Errors++
+		}
+	}
+}
+
+// peekLocal looks item up in the storage cache or memory buffer without
+// promoting it or touching replacement state.
+func (c *Client) peekLocal(item oodb.Item) (core.Entry, bool) {
+	if c.store != nil {
+		if e, ok := c.store.Peek(item); ok {
+			return *e, true
+		}
+	}
+	return c.membuf.Peek(item)
+}
+
+// Retries reports the total retransmissions the reliability layer issued.
+func (c *Client) Retries() uint64 { return c.retries }
+
+// Timeouts reports how many request attempts ended in a timeout.
+func (c *Client) Timeouts() uint64 { return c.timeouts }
+
+// DegradedReads reports reads served from stale copies after retry
+// exhaustion.
+func (c *Client) DegradedReads() uint64 { return c.degradedReads }

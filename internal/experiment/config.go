@@ -115,6 +115,33 @@ type Config struct {
 	// Disconnection (Experiment #6).
 	DisconnectedClients int
 	DisconnectHours     float64
+
+	// Unreliable channels (Experiment #7, DESIGN.md §9). All zero means a
+	// perfect channel: no fault model is built and the simulation is
+	// byte-identical to one run before the reliability layer existed.
+	LossRate       float64 // Bernoulli per-frame loss probability (Good state)
+	CorruptRate    float64 // per-frame corruption probability (CRC-detected)
+	BurstFraction  float64 // stationary Bad-state fraction of the Gilbert–Elliott chain
+	MeanBadSeconds float64 // mean Bad-state sojourn (default network.DefaultMeanBadSeconds)
+	BadLossProb    float64 // loss probability in the Bad state (default 1)
+
+	// Reliability layer (client-side); meaningful only with faults enabled.
+	RetryMax          int     // retransmissions per request (default client.DefaultMaxRetries; <0 disables)
+	RetryBackoff      float64 // base backoff seconds (default client.DefaultBackoffBase)
+	RetryTimeoutSlack float64 // timeout multiplier (default client.DefaultTimeoutSlack)
+}
+
+// FaultConfig assembles the network-layer fault model parameters. The root
+// seed is mixed so fault draws never perturb any other consumer's stream.
+func (c Config) FaultConfig() network.FaultConfig {
+	return network.FaultConfig{
+		LossProb:       c.LossRate,
+		CorruptProb:    c.CorruptRate,
+		BurstFraction:  c.BurstFraction,
+		MeanBadSeconds: c.MeanBadSeconds,
+		BadLossProb:    c.BadLossProb,
+		Seed:           rng.Derive(c.Seed, 0xfa017).Uint64(),
+	}
 }
 
 // Defaults returns cfg with every unset field filled from Table 1.
@@ -213,6 +240,17 @@ type Result struct {
 	CacheDrops          uint64 // whole-cache discards after missed invalidation reports
 	BroadcastReads      uint64 // reads answered from the broadcast channel
 
+	// Reliability-layer measurements (zero on perfect channels).
+	// AccessErrorRate is the fraction of reads not served correctly:
+	// coherence violations plus unavailable reads — the metric Experiment
+	// #7 sweeps against the frame-loss rate.
+	AccessErrorRate float64
+	Retries         uint64 // retransmissions issued across all clients
+	Timeouts        uint64 // request attempts that ended in a timeout
+	DegradedReads   uint64 // reads served from stale copies after retry exhaustion
+	FramesLost      uint64 // frames dropped by the channel fault models
+	FramesCorrupted uint64 // frames rejected by the receiver CRC
+
 	// HourlyResponse / HourlyQueries profile mean response time and load
 	// by hour of the simulated day (Bursty analysis).
 	HourlyResponse [24]float64
@@ -255,6 +293,13 @@ func Run(cfg Config) Result {
 	})
 	up := network.NewChannel(k, "uplink", network.WirelessBandwidthBps)
 	down := network.NewChannel(k, "downlink", network.WirelessBandwidthBps)
+
+	// Fault injection (Experiment #7): one model per channel direction,
+	// shared by all clients — burst outages hit everyone sending through
+	// the cell at once. NewFaultModel returns nil when disabled.
+	faultCfg := cfg.FaultConfig()
+	upFaults := network.NewFaultModel(faultCfg, 1)
+	downFaults := network.NewFaultModel(faultCfg, 2)
 
 	schedules := workload.BuildSchedules(workload.DisconnectConfig{
 		NumClients:          cfg.NumClients,
@@ -326,6 +371,13 @@ func Run(cfg Config) Result {
 			FixedLease:       cfg.FixedLease,
 			Tracer:           cfg.Tracer,
 			Broadcast:        program,
+			UpFaults:         upFaults,
+			DownFaults:       downFaults,
+			Retry: client.RetryConfig{
+				MaxRetries:   cfg.RetryMax,
+				BackoffBase:  cfg.RetryBackoff,
+				TimeoutSlack: cfg.RetryTimeoutSlack,
+			},
 		})
 		clients[i] = cl
 		cl.Start()
@@ -361,6 +413,11 @@ func Run(cfg Config) Result {
 	if agg.Issued > 0 {
 		energyPerQuery = energy / float64(agg.Issued)
 	}
+	accessErr := 0.0
+	if agg.Hits.Denom > 0 {
+		accessErr = float64(agg.Errs.Num+agg.Unavail) / float64(agg.Hits.Denom)
+	}
+	upStats, downStats := upFaults.Stats(), downFaults.Stats()
 	return Result{
 		Config:              cfg,
 		HitRatio:            agg.HitRatio(),
@@ -376,6 +433,12 @@ func Run(cfg Config) Result {
 		ItemsShed:           shed,
 		CacheDrops:          drops,
 		BroadcastReads:      bcastReads,
+		AccessErrorRate:     accessErr,
+		Retries:             agg.Retries,
+		Timeouts:            agg.Timeouts,
+		DegradedReads:       agg.Degraded,
+		FramesLost:          upStats.Lost + downStats.Lost,
+		FramesCorrupted:     upStats.Corrupted + downStats.Corrupted,
 		HourlyResponse:      hourlyMean,
 		HourlyQueries:       hourlyCount,
 		RadioEnergyPerQuery: energyPerQuery,

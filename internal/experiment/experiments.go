@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -292,6 +293,116 @@ func exp6(base Config, durations []float64, disconnected []int) *Report {
 			pct(errRates[key{core.HybridCaching, v, dFix}]))
 	}
 	rep.Tables = append(rep.Tables, tbl)
+	return rep
+}
+
+// Exp7 — beyond the paper: unreliable channels. Sweeps the per-frame loss
+// rate across caching granularity and coherence scheme (AQ, Poisson, SH,
+// U = 0.1, EWMA-0.5) with the client reliability layer at its defaults,
+// reporting the access-error rate (coherence violations + unavailable
+// reads) and the query response time; a second panel sweeps burst-outage
+// length at fixed loss via the Gilbert–Elliott chain. See DESIGN.md §9.
+func Exp7(base Config) *Report {
+	return exp7(base,
+		[]float64{0, 0.05, 0.1, 0.2, 0.3},
+		[]coherence.Strategy{coherence.LeaseStrategy, coherence.FixedLeaseStrategy},
+		[]float64{5, 10, 30})
+}
+
+// Exp7Quick runs a sparser loss grid (lease coherence only, no burst
+// panel) for time-constrained sweeps.
+func Exp7Quick(base Config) *Report {
+	return exp7(base,
+		[]float64{0, 0.1, 0.3},
+		[]coherence.Strategy{coherence.LeaseStrategy},
+		nil)
+}
+
+func exp7(base Config, losses []float64, strategies []coherence.Strategy,
+	badSojourns []float64) *Report {
+
+	rep := &Report{Name: "exp7"}
+	var b batch
+	grans := core.Granularities()
+
+	// Panel 1: frame-loss sweep, one error table and one response-time
+	// table per coherence scheme. Rows are appended up front and filled in
+	// place by the continuations (same pattern as Exp6).
+	for _, strat := range strategies {
+		tblErr := NewTable(
+			fmt.Sprintf("Experiment #7 — access-error %% vs frame-loss rate (%s coherence)", strat),
+			append([]string{"g\\loss"}, floatHeaders(losses)...)...)
+		tblResp := NewTable(
+			fmt.Sprintf("Experiment #7 — response time (s) vs frame-loss rate (%s coherence)", strat),
+			append([]string{"g\\loss"}, floatHeaders(losses)...)...)
+		rep.Tables = append(rep.Tables, tblErr, tblResp)
+		for _, g := range grans {
+			rowE := make([]string, 1+len(losses))
+			rowR := make([]string, 1+len(losses))
+			rowE[0], rowR[0] = g.String(), g.String()
+			tblErr.Rows = append(tblErr.Rows, rowE)
+			tblResp.Rows = append(tblResp.Rows, rowR)
+			for li, loss := range losses {
+				strat, g := strat, g
+				cfg := merge(base, func(c *Config) {
+					c.Label = fmt.Sprintf("exp7/%s/%s/loss=%g", strat, g, loss)
+					c.Granularity = g
+					c.QueryKind = workload.Associative
+					c.Heat = SkewedHeat
+					c.UpdateProb = 0.1
+					c.Policy = "ewma-0.5"
+					c.Coherence = strat
+					c.LossRate = loss
+				})
+				li := li
+				b.add(cfg, func(res Result) {
+					rowE[1+li] = fmt.Sprintf("%.2f", 100*res.AccessErrorRate)
+					rowR[1+li] = secs(res.MeanResponse)
+				})
+			}
+		}
+	}
+
+	// Panel 2: burst outages — 20% of the time in the Bad state, sweeping
+	// the mean outage length at a fixed 5% Good-state loss (lease
+	// coherence). Longer sojourns at the same stationary Bad fraction mean
+	// rarer but longer outages — the regime where retries exhaust and
+	// degraded serving takes over.
+	if len(badSojourns) > 0 {
+		hdr := []string{"g\\outage"}
+		for _, s := range badSojourns {
+			hdr = append(hdr, fmt.Sprintf("err%%@%gs", s), fmt.Sprintf("resp@%gs", s))
+		}
+		tbl := NewTable(
+			"Experiment #7 — burst outages (GE chain, 20% bad, loss 0.05; lease coherence)",
+			hdr...)
+		rep.Tables = append(rep.Tables, tbl)
+		for _, g := range grans {
+			row := make([]string, 1+2*len(badSojourns))
+			row[0] = g.String()
+			tbl.Rows = append(tbl.Rows, row)
+			for si, sojourn := range badSojourns {
+				g := g
+				cfg := merge(base, func(c *Config) {
+					c.Label = fmt.Sprintf("exp7/burst/%s/sojourn=%g", g, sojourn)
+					c.Granularity = g
+					c.QueryKind = workload.Associative
+					c.Heat = SkewedHeat
+					c.UpdateProb = 0.1
+					c.Policy = "ewma-0.5"
+					c.LossRate = 0.05
+					c.BurstFraction = 0.2
+					c.MeanBadSeconds = sojourn
+				})
+				si := si
+				b.add(cfg, func(res Result) {
+					row[1+2*si] = fmt.Sprintf("%.2f", 100*res.AccessErrorRate)
+					row[2+2*si] = secs(res.MeanResponse)
+				})
+			}
+		}
+	}
+	b.collect(rep)
 	return rep
 }
 

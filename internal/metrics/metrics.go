@@ -34,6 +34,11 @@ type Client struct {
 	queriesDisconnected uint64 // issued while disconnected
 	readsUnavailable    uint64 // reads unsatisfiable during disconnection
 
+	// Reliability-layer counters (unreliable channels, DESIGN.md §9).
+	retries       uint64 // retransmissions issued
+	timeouts      uint64 // request attempts that ended in a timeout
+	degradedReads uint64 // reads served from stale copies after retry exhaustion
+
 	hourly [hoursPerDay]stats.Welford // response times by hour of day
 }
 
@@ -63,6 +68,31 @@ func (c *Client) RecordUnavailable(now float64) {
 		return
 	}
 	c.readsUnavailable++
+}
+
+// RecordRetry counts one retransmission issued by the reliability layer.
+func (c *Client) RecordRetry(now float64) {
+	if now < c.Warmup {
+		return
+	}
+	c.retries++
+}
+
+// RecordTimeout counts one request attempt that ended in a timeout.
+func (c *Client) RecordTimeout(now float64) {
+	if now < c.Warmup {
+		return
+	}
+	c.timeouts++
+}
+
+// RecordDegraded counts one read served from a stale cached copy after the
+// reliability layer exhausted its retries.
+func (c *Client) RecordDegraded(now float64) {
+	if now < c.Warmup {
+		return
+	}
+	c.degradedReads++
 }
 
 // RecordQuery records one completed query.
@@ -119,6 +149,16 @@ func (c *Client) Queries() (issued, local, remote, disconnected uint64) {
 // Unavailable returns the number of unsatisfiable reads.
 func (c *Client) Unavailable() uint64 { return c.readsUnavailable }
 
+// Retries returns the retransmissions issued by the reliability layer.
+func (c *Client) Retries() uint64 { return c.retries }
+
+// Timeouts returns the request attempts that ended in a timeout.
+func (c *Client) Timeouts() uint64 { return c.timeouts }
+
+// DegradedReads returns the reads served from stale copies after retry
+// exhaustion.
+func (c *Client) DegradedReads() uint64 { return c.degradedReads }
+
 // Accesses returns the total number of recorded reads.
 func (c *Client) Accesses() uint64 { return c.hits.Denom }
 
@@ -135,6 +175,10 @@ type Aggregate struct {
 	Remote  uint64
 	Unavail uint64
 
+	Retries  uint64
+	Timeouts uint64
+	Degraded uint64
+
 	hourly [hoursPerDay]stats.Welford
 }
 
@@ -147,6 +191,9 @@ func (a *Aggregate) Merge(c *Client) {
 	a.Local += c.queriesLocal
 	a.Remote += c.queriesRemote
 	a.Unavail += c.readsUnavailable
+	a.Retries += c.retries
+	a.Timeouts += c.timeouts
+	a.Degraded += c.degradedReads
 	for h := range c.hourly {
 		a.hourly[h].Merge(&c.hourly[h])
 	}

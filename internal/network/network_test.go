@@ -192,6 +192,65 @@ func TestAddOutageValidation(t *testing.T) {
 	}
 }
 
+// Adjacent windows (End == next Start) are legal: the schedule is a union
+// of half-open intervals, so the junction instant belongs to the second
+// outage and the client never flickers to connected in between.
+func TestAdjacentOutagesStayDisconnected(t *testing.T) {
+	var s Schedule
+	s.AddOutage(Outage{Start: 10, End: 20})
+	s.AddOutage(Outage{Start: 20, End: 30})
+	for _, at := range []float64{10, 15, 20, 25, 29.999} {
+		if s.Connected(at) {
+			t.Fatalf("Connected(%v) across adjacent outages", at)
+		}
+	}
+	if !s.Connected(30) {
+		t.Fatal("Connected(30) should hold at the union's end")
+	}
+	if r := s.NextReconnect(15); r != 20 {
+		// NextReconnect reports the covering outage's end, not the
+		// union's: the caller re-checks and waits again — equivalent
+		// behaviour, simpler invariant.
+		t.Fatalf("NextReconnect(15) = %v, want 20", r)
+	}
+	if r := s.NextReconnect(20); r != 30 {
+		t.Fatalf("NextReconnect(20) = %v, want 30", r)
+	}
+}
+
+// An outage starting at t = 0 must disconnect the client from the first
+// instant of the simulation.
+func TestOutageAtTimeZero(t *testing.T) {
+	var s Schedule
+	s.AddOutage(Outage{Start: 0, End: 5})
+	if s.Connected(0) {
+		t.Fatal("Connected(0) inside an outage starting at 0")
+	}
+	if r := s.NextReconnect(0); r != 5 {
+		t.Fatalf("NextReconnect(0) = %v, want 5", r)
+	}
+	if d := s.DisconnectedTime(5); d != 5 {
+		t.Fatalf("DisconnectedTime(5) = %v, want 5", d)
+	}
+}
+
+// DisconnectedTime horizon edge cases: a horizon exactly at an outage's
+// boundaries, and one that bisects it.
+func TestDisconnectedTimeBoundaries(t *testing.T) {
+	var s Schedule
+	s.AddOutage(Outage{Start: 10, End: 20})
+	cases := []struct{ horizon, want float64 }{
+		{10, 0},  // ends exactly where the outage starts
+		{20, 10}, // ends exactly where the outage ends
+		{15, 5},  // bisects the outage
+	}
+	for _, c := range cases {
+		if d := s.DisconnectedTime(c.horizon); d != c.want {
+			t.Fatalf("DisconnectedTime(%v) = %v, want %v", c.horizon, d, c.want)
+		}
+	}
+}
+
 func TestOutagesCopy(t *testing.T) {
 	var s Schedule
 	s.AddOutage(Outage{Start: 1, End: 2})

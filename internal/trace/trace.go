@@ -27,6 +27,11 @@ type QueryRecord struct {
 	Disconnected bool
 	RequestBytes int
 	ReplyBytes   int
+	// Reliability-layer fields (unreliable channels, DESIGN.md §9); all
+	// zero when no fault model is attached.
+	Retries  int  // retransmissions the round trip needed
+	Degraded int  // reads served from stale copies after retry exhaustion
+	TimedOut bool // the round trip exhausted its retries entirely
 }
 
 // ResponseTime returns the query's response time.
@@ -69,6 +74,7 @@ var CSVHeader = []string{
 	"client", "index", "issued_at", "completed_at", "response_s",
 	"reads", "hits", "stale", "unavailable", "errors",
 	"remote", "disconnected", "request_bytes", "reply_bytes",
+	"retries", "degraded", "timed_out",
 }
 
 // CSVTracer streams records as CSV rows.
@@ -110,6 +116,9 @@ func (t *CSVTracer) Query(r QueryRecord) {
 		strconv.FormatBool(r.Disconnected),
 		strconv.Itoa(r.RequestBytes),
 		strconv.Itoa(r.ReplyBytes),
+		strconv.Itoa(r.Retries),
+		strconv.Itoa(r.Degraded),
+		strconv.FormatBool(r.TimedOut),
 	}
 	t.err = t.w.Write(row)
 }

@@ -3,9 +3,10 @@
 #
 # Two suites, each with its own machine-readable summary at the repo root:
 #
-#   kernel  ns/event and allocs/event of the discrete-event core, plus the
-#           parallel sweep benchmark (wall-clock of a 16-config evaluation
-#           slice at pool sizes 1/2/4/8)          -> BENCH_kernel.json
+#   kernel  ns/event and allocs/event of the discrete-event core, the
+#           channel fault model's per-frame cost, plus the parallel sweep
+#           benchmark (wall-clock of a 16-config evaluation slice at pool
+#           sizes 1/2/4/8)                        -> BENCH_kernel.json
 #   model   the replacement-policy hot path: ns/access, ns/victim and the
 #           full eviction cycle for every indexed policy against its
 #           retained scanCore reference twin       -> BENCH_model.json
@@ -64,6 +65,10 @@ fi
 
 go test -run '^$' -bench 'Kernel' -benchmem \
     -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/sim | tee "$raw"
+# The fault model sits on the per-frame hot path of every faulted
+# transmission; track its cost next to the kernel numbers.
+go test -run '^$' -bench 'FaultTransmit' -benchmem \
+    -count "$BENCH_COUNT" ./internal/network | tee -a "$raw"
 cat "$sweep" >> "$raw"
 emit_json "$raw" BENCH_kernel.json
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# lintdocs.sh — documentation gate: every package in the module must carry a
+# package comment (a doc comment immediately preceding its package clause in
+# at least one non-test file). CI runs this alongside `make verify`; run it
+# locally via `make lintdocs`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r dir; do
+    rel="${dir#"$PWD"/}"
+    ok=0
+    nontest=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        nontest=1
+        # A package comment ends on the line directly above the package
+        # clause: either a // line or the closing */ of a block comment.
+        if awk '
+            /^package[ \t]/ { if (prev ~ /^\/\// || prev ~ /\*\/[ \t]*$/) found = 1; exit }
+            { prev = $0 }
+            END { exit found ? 0 : 1 }
+        ' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    # Test-only packages (e.g. the root benchmark harness) document
+    # themselves in their _test.go files; skip them.
+    if [ "$nontest" -eq 1 ] && [ "$ok" -eq 0 ]; then
+        echo "lintdocs: package in $rel has no package comment" >&2
+        fail=1
+    fi
+done < <(go list -f '{{.Dir}}' ./...)
+
+if [ "$fail" -ne 0 ]; then
+    echo "lintdocs: FAIL" >&2
+    exit 1
+fi
+echo "lintdocs: OK (all packages documented)"
