@@ -28,6 +28,14 @@
 //
 //	mcsim -run -granularity hc -loss 0.1 -retry 3          # 10% frame loss
 //	mcsim -run -granularity ac -loss 0.05 -burst 0.2       # plus burst outages
+//
+// Generate a self-contained run report (docs/OBSERVABILITY.md): manifest,
+// Markdown with inline SVG timelines, and a per-query trace. With -exp the
+// sweep runs first and one representative configuration is re-run
+// instrumented; with -run the single run itself is instrumented:
+//
+//	mcsim -exp 1 -report out/       # tables + instrumented Exp1 run
+//	mcsim -run -loss 0.1 -report out/
 package main
 
 import (
@@ -40,6 +48,8 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -82,6 +92,8 @@ func main() {
 		retryMax   = flag.Int("retry", 0, "max retransmissions per request (0 = default 3, negative = none)")
 		backoff    = flag.Float64("backoff", 0, "base retry backoff in seconds (0 = default 1)")
 
+		reportDir = flag.String("report", "", "write manifest.json, report.md and trace.csv into this directory")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -121,6 +133,9 @@ func main() {
 			fatal(fmt.Errorf("unknown coherence strategy %q (want lease|fixed|ir)", *coherenceS))
 		}
 		if *traceFile != "" {
+			if *reportDir != "" {
+				fatal(fmt.Errorf("-report writes its own trace.csv; drop -trace"))
+			}
 			f, err := os.Create(*traceFile)
 			if err != nil {
 				fatal(err)
@@ -137,6 +152,25 @@ func main() {
 		if *replicas > 1 {
 			rep := experiment.Replicate(cfg, *replicas)
 			fmt.Println(rep)
+			if *reportDir != "" {
+				// Instrument the base seed's run; the replication summary
+				// stays on stdout (it spans seeds, so it has no single
+				// manifest).
+				if _, err := instrumentedReport(*reportDir, "run",
+					runCommand(cfg), nil, cfg); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("report written to %s\n", *reportDir)
+			}
+			return
+		}
+		if *reportDir != "" {
+			res, err := instrumentedReport(*reportDir, "run", runCommand(cfg), nil, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			printResult(res)
+			fmt.Printf("report written to %s\n", *reportDir)
 			return
 		}
 		res := experiment.Run(cfg)
@@ -147,7 +181,7 @@ func main() {
 		if *quick && base.Days == 0 {
 			base.Days = 1
 		}
-		if err := runExperiments(*expFlag, base, *quick); err != nil {
+		if err := runExperiments(*expFlag, base, *quick, *reportDir); err != nil {
 			fatal(err)
 		}
 	default:
@@ -261,7 +295,35 @@ func printResult(res experiment.Result) {
 	}
 }
 
-func runExperiments(which string, base experiment.Config, quick bool) error {
+// expCatalog summarizes every -exp key in selection order; the unknown
+// -experiment error prints it so a typo teaches the valid range.
+var expCatalog = []struct{ key, summary string }{
+	{"1", "Figure 2: caching granularity (NC/AC/OC/HC)"},
+	{"2", "Figure 3: replacement policies, best case"},
+	{"3", "Figure 4: replacement policies, realistic workloads"},
+	{"4", "Figures 5+6: CSH change rates and cyclic access"},
+	{"5", "Figure 7: coherence (beta x U)"},
+	{"6", "Figure 8: disconnected operation (D x V)"},
+	{"7", "beyond the paper: unreliable channels (loss x burst x coherence)"},
+	{"table1", "Table 1: parameter settings"},
+	{"all", "every experiment above"},
+}
+
+// unknownExperiment builds the error for an unrecognized -exp value: the
+// valid range plus one line per experiment.
+func unknownExperiment(which string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unknown experiment %q (want 1..7, table1, all); valid experiments:", which)
+	for _, e := range expCatalog {
+		fmt.Fprintf(&b, "\n  %-6s  %s", e.key, e.summary)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// runExperiments regenerates the requested experiment(s). With a non-empty
+// reportDir, the first experiment's first configuration is re-run
+// instrumented after the sweep and the report artifacts are written there.
+func runExperiments(which string, base experiment.Config, quick bool, reportDir string) error {
 	type job struct {
 		name string
 		run  func() fmt.Stringer
@@ -307,13 +369,67 @@ func runExperiments(which string, base experiment.Config, quick bool) error {
 		}
 	}
 	if len(jobs) == 0 {
-		return fmt.Errorf("unknown experiment %q (want 1..7, table1, all)", which)
+		return unknownExperiment(which)
 	}
+	var firstRep *experiment.Report
 	for _, j := range jobs {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", j.name)
-		fmt.Println(j.run().String())
+		out := j.run()
+		fmt.Println(out.String())
 		fmt.Printf("(%s in %.1fs)\n\n", j.name, time.Since(start).Seconds())
+		if r, ok := out.(*experiment.Report); ok && firstRep == nil && len(r.Results) > 0 {
+			firstRep = r
+		}
+	}
+	if reportDir != "" {
+		if firstRep == nil {
+			return fmt.Errorf("-report needs a simulation to instrument (table1 runs none)")
+		}
+		cfg := firstRep.Results[0].Config
+		// The literal "<dir>" keeps report bytes independent of where the
+		// artifacts landed: same seed, same bytes, any output directory.
+		command := fmt.Sprintf("mcsim -exp %s -seed %d", which, base.Seed)
+		if quick {
+			command += " -quick"
+		}
+		command += " -report <dir>"
+		if _, err := instrumentedReport(reportDir, "exp"+which, command, firstRep, cfg); err != nil {
+			return err
+		}
+		fmt.Printf("report: instrumented %s re-run written to %s\n", cfg, reportDir)
 	}
 	return nil
+}
+
+// runCommand renders the reproduce command for a -run report. The manifest
+// config is the authoritative parameter record; the command names the
+// flags a rerun usually needs. "<dir>" stands in for the output directory
+// so report bytes never depend on where the artifacts landed.
+func runCommand(cfg experiment.Config) string {
+	return fmt.Sprintf("mcsim -run -granularity %s -policy %s -seed %d -report <dir> (full parameters: manifest config)",
+		cfg.Granularity, cfg.Policy, cfg.Seed)
+}
+
+// instrumentedReport runs cfg with an obs registry and a trace collector
+// attached and writes manifest.json, report.md and trace.csv into dir.
+// rep (optional) supplies the sweep tables the report embeds and hashes.
+func instrumentedReport(dir, expName, command string, rep *experiment.Report,
+	cfg experiment.Config) (experiment.Result, error) {
+
+	col := &trace.Collector{}
+	cfg.Tracer = col
+	cfg.Obs = obs.New(0)
+	start := time.Now()
+	res := experiment.Run(cfg)
+	man := report.NewManifest(expName, command, res.Config, rep, cfg.Obs)
+	man.WallSeconds = time.Since(start).Seconds()
+	err := report.Write(dir, report.Input{
+		Manifest: man,
+		Rep:      rep,
+		Result:   res,
+		Reg:      cfg.Obs,
+		Trace:    col,
+	})
+	return res, err
 }

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/report"
 	"repro/internal/workload"
 )
 
@@ -68,14 +73,74 @@ func TestBuildConfigErrors(t *testing.T) {
 }
 
 func TestRunExperimentsUnknown(t *testing.T) {
-	err := runExperiments("banana", experiment.Config{}, false)
+	err := runExperiments("banana", experiment.Config{}, false, "")
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v", err)
+	}
+	// The error teaches the valid range: every catalog key with its
+	// one-line summary.
+	msg := err.Error()
+	if !strings.Contains(msg, "want 1..7, table1, all") {
+		t.Fatalf("error lacks valid range: %v", msg)
+	}
+	for _, e := range expCatalog {
+		if !strings.Contains(msg, e.summary) {
+			t.Fatalf("error lacks %q summary: %v", e.key, msg)
+		}
 	}
 }
 
 func TestRunExperimentsTable1(t *testing.T) {
-	if err := runExperiments("table1", experiment.Config{}, false); err != nil {
+	if err := runExperiments("table1", experiment.Config{}, false, ""); err != nil {
 		t.Fatal(err)
+	}
+	// table1 runs no simulation, so there is nothing to instrument.
+	err := runExperiments("table1", experiment.Config{}, false, t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "-report") {
+		t.Fatalf("table1 with -report: err = %v", err)
+	}
+}
+
+// TestRunExperimentsReport is the acceptance path end to end: a tiny Exp1
+// sweep with -report produces manifest.json, report.md with at least three
+// SVG timelines, and trace.csv — and a rerun with the same seed reproduces
+// report.md byte for byte.
+func TestRunExperimentsReport(t *testing.T) {
+	base := experiment.Config{Seed: 3, Days: 0.02, NumClients: 2, NumObjects: 200}
+	run := func() (string, []byte) {
+		dir := t.TempDir()
+		if err := runExperiments("1", base, false, dir); err != nil {
+			t.Fatal(err)
+		}
+		md, err := os.ReadFile(filepath.Join(dir, "report.md"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, md
+	}
+	dir, md := run()
+
+	if n := strings.Count(string(md), "<svg"); n < 3 {
+		t.Fatalf("report has %d SVG timelines, want >= 3", n)
+	}
+	var man report.Manifest
+	mj, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mj, &man); err != nil {
+		t.Fatalf("manifest.json invalid: %v", err)
+	}
+	if man.Experiment != "exp1" || man.Seed != 3 || len(man.Tables) == 0 ||
+		!strings.Contains(man.Command, "-exp 1") {
+		t.Fatalf("manifest incomplete: %+v", man)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trace.csv")); err != nil {
+		t.Fatalf("trace.csv missing: %v", err)
+	}
+
+	_, md2 := run()
+	if !bytes.Equal(md, md2) {
+		t.Fatal("same seed produced different report.md bytes")
 	}
 }

@@ -28,3 +28,23 @@ func Example() {
 	// cycle: 0.262s
 	// wait after just missing it: 0.261s
 }
+
+// MeanWait is the sizing knob for the shared pool: every object added to
+// the program lengthens the revolution, so the expected tune-in wait
+// (half a cycle plus one slot) grows linearly with pool size. The trade
+// is air latency against how much of the hot set rides for free.
+func Example_meanWait() {
+	for _, n := range []int{10, 25, 50} {
+		oids := make([]oodb.OID, n)
+		for i := range oids {
+			oids[i] = oodb.OID(i)
+		}
+		prog := broadcast.New(broadcast.HotAttrItems(oids, 2),
+			network.WirelessBandwidthBps, 0)
+		fmt.Printf("%2d objects on air: mean wait %.2fs\n", n, prog.MeanWait())
+	}
+	// Output:
+	// 10 objects on air: mean wait 0.48s
+	// 25 objects on air: mean wait 1.14s
+	// 50 objects on air: mean wait 2.23s
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/replacement"
 	"repro/internal/rng"
@@ -285,6 +286,32 @@ func (c *Client) run(p *sim.Proc) {
 
 // Store exposes the storage cache (nil under NC) for diagnostics.
 func (c *Client) Store() *core.Cache { return c.store }
+
+// Register wires the client's cache health and radio cost into an
+// observability registry under the given series prefix: storage-cache
+// occupancy (bytes and fraction of capacity), cumulative evictions and
+// insertions under the client's replacement policy, the fraction of cached
+// items still inside their lease, and radio energy. Under NC (no storage
+// cache) only the energy gauge is registered. No-op on a disabled registry.
+func (c *Client) Register(reg *obs.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge(prefix+".energy_j", func() float64 { return c.energyJoules })
+	if c.store == nil {
+		return
+	}
+	reg.Gauge(prefix+".cache_bytes", func() float64 { return float64(c.store.UsedBytes()) })
+	reg.Gauge(prefix+".cache_occupancy", func() float64 {
+		return float64(c.store.UsedBytes()) / float64(c.store.CapacityBytes())
+	})
+	reg.Gauge(prefix+".cache_items", func() float64 { return float64(c.store.Len()) })
+	reg.Gauge(prefix+".evictions", func() float64 { return float64(c.store.Evictions()) })
+	reg.Gauge(prefix+".insertions", func() float64 { return float64(c.store.Insertions()) })
+	reg.Gauge(prefix+".valid_fraction", func() float64 {
+		return c.store.ValidFraction(c.kernel.Now())
+	})
+}
 
 // ShedItems reports how many prefetched items were shed by the timeout
 // heuristic.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/replacement"
 	"repro/internal/rng"
@@ -96,8 +97,17 @@ type Config struct {
 	FixedLease     float64
 
 	// Tracer receives one record per completed query across all clients
-	// (nil = no tracing).
-	Tracer trace.Tracer
+	// (nil = no tracing). Excluded from run manifests: it is live state,
+	// not configuration.
+	Tracer trace.Tracer `json:"-"`
+
+	// Obs, when non-nil, instruments the run: every entity (channels,
+	// fault models, server, clients) registers its gauges and the
+	// registry's sampler is attached over the run horizon. Nil (the
+	// default) is the zero-cost disabled state. Like Tracer, a registry is
+	// shared mutable state, so instrumented batches run serial; and like
+	// Tracer it is excluded from run manifests.
+	Obs *obs.Registry `json:"-"`
 
 	// SharedHotObjects > 0 gives every client a common interest pool of
 	// that many objects, drawn with probability SharedHotProb (default
@@ -385,6 +395,14 @@ func Run(cfg Config) Result {
 
 	if cfg.Coherence == coherence.InvalidationReportStrategy {
 		startBroadcaster(k, cfg, srv, down, clients, schedules)
+	}
+
+	// Observability (obs.go): wire every entity into the registry and
+	// attach its virtual-time sampler before the first event fires, so all
+	// series start at t = 0.
+	if cfg.Obs.Enabled() {
+		registerObservables(cfg, srv, up, down, upFaults, downFaults, clients, clientMetrics)
+		cfg.Obs.Attach(k, cfg.Horizon())
 	}
 
 	k.RunAll()

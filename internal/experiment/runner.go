@@ -36,11 +36,12 @@ func (r Runner) RunBatch(cfgs []Config) []Result {
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
-	// A Tracer is shared mutable state across runs: concurrent execution
-	// would interleave (and race on) its records. Keep traced batches
-	// serial so the trace stays byte-identical to the sequential order.
+	// A Tracer or an obs.Registry is shared mutable state across runs:
+	// concurrent execution would interleave (and race on) its records.
+	// Keep instrumented batches serial so traces and sampled series stay
+	// byte-identical to the sequential order.
 	for _, cfg := range cfgs {
-		if cfg.Tracer != nil {
+		if cfg.Tracer != nil || cfg.Obs != nil {
 			workers = 1
 			break
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -164,6 +165,24 @@ func (c *Client) Accesses() uint64 { return c.hits.Denom }
 
 // Errors returns the absolute number of erroneous reads.
 func (c *Client) Errors() uint64 { return c.errors.Num }
+
+// Register wires the client's running metrics into an observability
+// registry under the given series prefix. Sampled over virtual time these
+// become the convergence curves a report plots: the hit ratio climbing as
+// the cache warms, the error rate settling, the reliability-layer counters
+// accumulating. No-op on a disabled registry.
+func (c *Client) Register(reg *obs.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge(prefix+".hit_ratio", c.HitRatio)
+	reg.Gauge(prefix+".error_rate", c.ErrorRate)
+	reg.Gauge(prefix+".mean_response_s", c.MeanResponse)
+	reg.Gauge(prefix+".accesses", func() float64 { return float64(c.Accesses()) })
+	reg.Gauge(prefix+".retries", func() float64 { return float64(c.retries) })
+	reg.Gauge(prefix+".timeouts", func() float64 { return float64(c.timeouts) })
+	reg.Gauge(prefix+".degraded_reads", func() float64 { return float64(c.degradedReads) })
+}
 
 // Aggregate is the across-clients average the paper reports.
 type Aggregate struct {

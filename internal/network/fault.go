@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -212,4 +213,18 @@ func (m *FaultModel) Stats() FaultStats {
 		return FaultStats{}
 	}
 	return m.stats
+}
+
+// Register wires the model's frame counters into an observability
+// registry under the given series prefix. Only the cumulative counters
+// are exposed: sampling the Gilbert–Elliott state itself would advance
+// the chain's RNG at sampler times and perturb the run. No-op on a nil
+// model (perfect channel) or a disabled registry.
+func (m *FaultModel) Register(reg *obs.Registry, prefix string) {
+	if m == nil || !reg.Enabled() {
+		return
+	}
+	reg.Gauge(prefix+".frames_lost", func() float64 { return float64(m.stats.Lost) })
+	reg.Gauge(prefix+".frames_corrupted", func() float64 { return float64(m.stats.Corrupted) })
+	reg.Gauge(prefix+".frames_delivered", func() float64 { return float64(m.stats.Delivered) })
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/sim"
 )
@@ -109,6 +110,20 @@ func (c *Channel) SendDeferred(p *sim.Proc, sizeFn func(waited float64) int) {
 	c.res.Release()
 	c.bytesSent += uint64(bytes)
 	c.messages++
+}
+
+// Register wires the channel into an observability registry under the
+// given series prefix: cumulative busy fraction (the report differences
+// consecutive samples into windowed busy/idle utilization), instantaneous
+// queue depth, and cumulative bytes/messages. No-op when reg is disabled.
+func (c *Channel) Register(reg *obs.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge(prefix+".utilization", c.Utilization)
+	reg.Gauge(prefix+".queue", func() float64 { return float64(c.res.QueueLen()) })
+	reg.Gauge(prefix+".bytes", func() float64 { return float64(c.bytesSent) })
+	reg.Gauge(prefix+".messages", func() float64 { return float64(c.messages) })
 }
 
 // Utilization reports the time-average busy fraction of the channel.

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Chart geometry: fixed so report bytes never depend on environment.
+const (
+	chartWidth   = 720
+	chartHeight  = 220
+	marginLeft   = 56
+	marginRight  = 12
+	marginTop    = 24
+	marginBottom = 32
+)
+
+// palette is the line-color cycle. Colors are fixed hex strings; series
+// beyond the palette wrap around.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// chartLine is one named series to draw.
+type chartLine struct {
+	name string
+	s    *obs.Series
+}
+
+// fnum renders a float with the report-wide %.6g format — the single
+// formatting used for every numeric label so output is byte-deterministic.
+func fnum(v float64) string {
+	return fmt.Sprintf("%.6g", v)
+}
+
+// svgChart renders one fixed-size line chart with y gridlines, hour-scaled
+// x labels, and a legend. Series may have different lengths (a chart can
+// mix raw and windowed series); empty lines are skipped.
+func svgChart(title, yLabel string, lines []chartLine) string {
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+
+	// Data extent across all lines.
+	var tMax float64
+	yMin, yMax := 0.0, 0.0
+	any := false
+	for _, ln := range lines {
+		if ln.s == nil {
+			continue
+		}
+		for i := range ln.s.T {
+			if ln.s.T[i] > tMax {
+				tMax = ln.s.T[i]
+			}
+			if !any || ln.s.V[i] < yMin {
+				yMin = ln.s.V[i]
+			}
+			if !any || ln.s.V[i] > yMax {
+				yMax = ln.s.V[i]
+			}
+			any = true
+		}
+	}
+	if !any {
+		return ""
+	}
+	if yMin > 0 {
+		yMin = 0 // anchor ratio/rate charts at zero
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if tMax == 0 {
+		tMax = 1
+	}
+	xOf := func(t float64) float64 { return marginLeft + t/tMax*plotW }
+	yOf := func(v float64) float64 {
+		return marginTop + (1-(v-yMin)/(yMax-yMin))*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`, chartWidth, chartHeight)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<text x="%d" y="14" font-family="monospace" font-size="12" fill="#333">%s</text>`,
+		marginLeft, xmlEscape(title))
+	b.WriteString("\n")
+
+	// Horizontal gridlines with y labels at 5 levels.
+	for i := 0; i <= 4; i++ {
+		v := yMin + (yMax-yMin)*float64(i)/4
+		y := yOf(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd" stroke-width="1"/>`,
+			marginLeft, y, chartWidth-marginRight, y)
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="monospace" font-size="9" fill="#666" text-anchor="end">%s</text>`,
+			marginLeft-4, y+3, fnum(v))
+		b.WriteString("\n")
+	}
+	// X labels: start, midpoint, end, in virtual hours.
+	for i := 0; i <= 2; i++ {
+		t := tMax * float64(i) / 2
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="monospace" font-size="9" fill="#666" text-anchor="middle">%sh</text>`,
+			xOf(t), chartHeight-marginBottom+14, fnum(t/3600))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="monospace" font-size="9" fill="#666">%s</text>`,
+		marginLeft, chartHeight-6, xmlEscape(yLabel))
+	b.WriteString("\n")
+
+	// Polylines and legend.
+	legendX := marginLeft + 8
+	drawn := 0
+	for _, ln := range lines {
+		if ln.s == nil || len(ln.s.T) == 0 {
+			continue
+		}
+		color := palette[drawn%len(palette)]
+		var pts strings.Builder
+		for i := range ln.s.T {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", xOf(ln.s.T[i]), yOf(ln.s.V[i]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+			color, pts.String())
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="monospace" font-size="9" fill="%s">%s</text>`,
+			legendX, marginTop+10+12*drawn, color, xmlEscape(ln.name))
+		b.WriteString("\n")
+		drawn++
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// xmlEscape escapes the characters XML text nodes cannot hold verbatim.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

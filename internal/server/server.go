@@ -14,6 +14,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -156,6 +157,12 @@ type Server struct {
 	diskReads      uint64
 	bufferHits     uint64
 	updatesApplied uint64
+
+	// obsRT, when observability is enabled, receives every refresh-time
+	// estimate the server ships (the RT = d̄ + β·s distribution of §3.2).
+	// Nil when disabled: Observe on a nil histogram is a free no-op, so
+	// the reply hot path pays nothing.
+	obsRT *obs.Histogram
 }
 
 // reqScratch is one client's reusable request-processing storage.
@@ -320,10 +327,12 @@ func (s *Server) assembleReply(req Request, sc *reqScratch) Reply {
 		// server); the client just has nowhere durable to cache them.
 		sc.needOrder = s.collectDistinct(req.Need, sc.needOrder[:0])
 		for _, oid := range sc.needOrder {
+			rt := s.refreshObj.RefreshTime(oodb.ObjectItem(oid), now)
+			s.obsRT.Observe(rt)
 			items = append(items, ReplyItem{
 				Item:    oodb.ObjectItem(oid),
 				Version: s.db.ObjectVersion(oid),
-				Refresh: s.refreshObj.RefreshTime(oodb.ObjectItem(oid), now),
+				Refresh: rt,
 			})
 		}
 
@@ -367,10 +376,12 @@ func (s *Server) assembleReply(req Request, sc *reqScratch) Reply {
 
 func (s *Server) attrReplyItem(oid oodb.OID, attr oodb.AttrID, now float64, prefetched bool) ReplyItem {
 	it := oodb.AttrItem(oid, attr)
+	rt := s.refreshAttr.RefreshTime(it, now)
+	s.obsRT.Observe(rt)
 	return ReplyItem{
 		Item:       it,
 		Version:    s.db.AttrVersion(oid, attr),
-		Refresh:    s.refreshAttr.RefreshTime(it, now),
+		Refresh:    rt,
 		Prefetched: prefetched,
 	}
 }
@@ -451,6 +462,28 @@ type Stats struct {
 	UpdatesApplied  uint64
 	BufferHitRatio  float64
 	DiskUtilization float64
+}
+
+// Register wires the server's load and health into an observability
+// registry: cumulative query/disk/update counters, buffer hit ratio, disk
+// utilization, and the distribution of refresh-time estimates shipped to
+// clients (series server.rt_p50 / server.rt_p90 track its quantiles over
+// virtual time). No-op on a disabled registry; when disabled the reply
+// path's Observe calls hit a nil histogram and cost nothing.
+func (s *Server) Register(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("server.queries", func() float64 { return float64(s.queriesServed) })
+	reg.Gauge("server.disk_reads", func() float64 { return float64(s.diskReads) })
+	reg.Gauge("server.updates", func() float64 { return float64(s.updatesApplied) })
+	reg.Gauge("server.buffer_hit_ratio", s.buf.HitRatio)
+	reg.Gauge("server.disk_utilization", s.disk.Utilization)
+	// Refresh times span milliseconds (hot items under heavy update load)
+	// to the full run horizon (items never observed written).
+	s.obsRT = reg.Histogram("server.refresh_time_s", 1e-3, 1e5)
+	reg.Gauge("server.rt_p50", func() float64 { return s.obsRT.Quantile(0.5) })
+	reg.Gauge("server.rt_p90", func() float64 { return s.obsRT.Quantile(0.9) })
 }
 
 // Stats returns a snapshot of server counters.

@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/obs"
+)
+
+// obsDisabledHotPath performs every instrument operation the simulation's
+// hot path can make against a disabled (nil) registry: the Enabled gate
+// experiment.Run checks before wiring, plus the counter/histogram calls
+// that sit inside the server's per-query loop. This is the exact shape of
+// the overhead an uninstrumented run pays.
+func obsDisabledHotPath(reg *obs.Registry, c *obs.Counter, h *obs.Histogram) {
+	if reg.Enabled() {
+		panic("nil registry reported enabled")
+	}
+	c.Inc()
+	c.Add(3)
+	h.Observe(0.25)
+}
+
+// TestObsDisabledAddsNoAllocs is the macro half of the zero-cost
+// contract (the micro half, per-instrument, lives in internal/obs): with
+// cfg.Obs unset, the observability layer must contribute zero
+// allocations per operation to the simulation hot path.
+func TestObsDisabledAddsNoAllocs(t *testing.T) {
+	var reg *obs.Registry // cfg.Obs zero value: observability off
+	c := reg.Counter("guard.counter")
+	h := reg.Histogram("guard.histogram", 1e-3, 1e3)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		obsDisabledHotPath(reg, c, h)
+	}); allocs != 0 {
+		t.Fatalf("disabled observability path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestObsDisabledMatchesAbsent pins the stronger property behind the
+// benchmark guard: a run with a nil registry is not merely cheap but
+// bit-identical to one that never heard of observability, because Run
+// skips registration and sampler attachment entirely.
+func TestObsDisabledMatchesAbsent(t *testing.T) {
+	cfg := experiment.Config{Seed: 5, Days: 0.01, NumClients: 2, NumObjects: 200}
+	plain := experiment.Run(cfg)
+	cfg.Obs = nil // explicit, for the reader: the zero value is "off"
+	again := experiment.Run(cfg)
+	// Blank the echoed Config: its unset PrefetchKappa is NaN, which is
+	// never DeepEqual to itself.
+	plain.Config, again.Config = experiment.Config{}, experiment.Config{}
+	if !reflect.DeepEqual(plain, again) {
+		t.Fatalf("nil-registry run diverged from plain run:\n%+v\nvs\n%+v", plain, again)
+	}
+}
+
+// BenchmarkObsDisabledHotPath reports the per-operation cost of the
+// disabled observability path; run with -benchmem, the allocs/op column
+// must read 0 (TestObsDisabledAddsNoAllocs enforces it).
+func BenchmarkObsDisabledHotPath(b *testing.B) {
+	var reg *obs.Registry
+	c := reg.Counter("guard.counter")
+	h := reg.Histogram("guard.histogram", 1e-3, 1e3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obsDisabledHotPath(reg, c, h)
+	}
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # lintdocs.sh — documentation gate: every package in the module must carry a
 # package comment (a doc comment immediately preceding its package clause in
-# at least one non-test file). CI runs this alongside `make verify`; run it
-# locally via `make lintdocs`.
+# at least one non-test file), and the observability packages additionally
+# require a doc comment on every exported top-level identifier. CI runs this
+# alongside `make verify`; run it locally via `make lintdocs`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +34,29 @@ while IFS= read -r dir; do
         fail=1
     fi
 done < <(go list -f '{{.Dir}}' ./...)
+
+# Exported-identifier gate for the observability layer: internal/obs and
+# internal/report are the registry/report API surface other tools build on,
+# so every exported top-level declaration must carry a doc comment directly
+# above it (same rule go doc applies).
+for dir in internal/obs internal/report; do
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        if ! awk -v file="$f" '
+            /^(func|type|const|var) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+                if (prev !~ /^\/\// && prev !~ /\*\/[ \t]*$/) {
+                    printf "lintdocs: %s:%d: exported %s lacks a doc comment\n", file, NR, $0 > "/dev/stderr"
+                    bad = 1
+                }
+            }
+            { prev = $0 }
+            END { exit bad ? 1 : 0 }
+        ' "$f"; then
+            fail=1
+        fi
+    done
+done
 
 if [ "$fail" -ne 0 ]; then
     echo "lintdocs: FAIL" >&2
