@@ -11,10 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel runner and the kernel handoff discipline are the two places
+# The parallel runner, the kernel handoff discipline, and the federation
+# backbone (exercised concurrently by fleet cells) are the places
 # concurrency lives; keep them race-clean.
 race:
-	$(GO) test -race ./internal/experiment ./internal/sim
+	$(GO) test -race ./internal/experiment ./internal/sim ./internal/federation
 
 # Docs gate: every package must carry a package comment.
 lintdocs:
@@ -24,11 +25,12 @@ lintdocs:
 verify: build vet test race lintdocs
 
 # Kernel micro-benchmarks + the parallel sweep benchmark + the replacement
-# model suite, with allocation counts; machine-readable results land in
-# BENCH_kernel.json and BENCH_model.json.
-# Tune with BENCH_TIME / BENCH_MODEL_TIME (go -benchtime) and BENCH_COUNT.
+# model suite + the fleet engine, with allocation counts; machine-readable
+# results land in BENCH_kernel.json, BENCH_model.json and BENCH_fleet.json.
+# Tune with BENCH_TIME / BENCH_MODEL_TIME / BENCH_FLEET_TIME (go -benchtime)
+# and BENCH_COUNT.
 bench:
 	scripts/bench.sh
 
 clean:
-	rm -f BENCH_kernel.json BENCH_model.json
+	rm -f BENCH_kernel.json BENCH_model.json BENCH_fleet.json

@@ -402,3 +402,41 @@ func BenchmarkAblationBaselinePolicies(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleet — the fleet engine behind Experiment #8: one hundred
+// clients sharded across 1/2/4/8 cells, plus the relay cache on the widest
+// fleet. Cells execute on the worker pool, so Mevents/s should climb with
+// the cell count until cores saturate, while hit% and resp_s stay
+// byte-identical at any -parallel (TestFleetParallelInvariance).
+func BenchmarkFleet(b *testing.B) {
+	fleetRun := func(b *testing.B, cfg experiment.Config) {
+		b.Helper()
+		var res experiment.Result
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			res = experiment.RunFleet(cfg)
+			events += res.Events
+		}
+		b.ReportMetric(100*res.HitRatio, "hit%")
+		b.ReportMetric(res.MeanResponse, "resp_s")
+		b.ReportMetric(float64(res.BackboneBytes)/1e6, "backbone_MB")
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(events)/s/1e6, "Mevents/s")
+		}
+	}
+	for _, cells := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=100/cells=%d", cells), func(b *testing.B) {
+			cfg := benchBase()
+			cfg.NumClients = 100
+			cfg.Cells = cells
+			fleetRun(b, cfg)
+		})
+	}
+	b.Run("clients=100/cells=8/relay=200", func(b *testing.B) {
+		cfg := benchBase()
+		cfg.NumClients = 100
+		cfg.Cells = 8
+		cfg.RelayObjects = 200
+		fleetRun(b, cfg)
+	})
+}

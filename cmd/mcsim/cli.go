@@ -1,0 +1,370 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// simOpts binds the single-configuration simulation flags shared by
+// `mcsim run` and the legacy flag surface onto a FlagSet, one definition
+// for both. Defaults mirror the paper's Table 1 settings.
+type simOpts struct {
+	days    float64
+	seed    uint64
+	clients int
+	objects int
+
+	granularity string
+	policy      string
+	kind        string
+	heat        string
+	arrival     string
+	change      int
+	update      float64
+	beta        float64
+	coherenceS  string
+	fixedLease  float64
+	shed        float64
+	disconnect  int
+	hours       float64
+	sharedHot   int
+	shareProb   float64
+	bcastAttrs  int
+
+	cells       int
+	relay       int
+	backboneBps float64
+	backboneLat float64
+
+	loss     float64
+	corrupt  float64
+	burst    float64
+	burstLen float64
+	retryMax int
+	backoff  float64
+}
+
+// register declares every simulation flag on fs.
+func (o *simOpts) register(fs *flag.FlagSet) {
+	fs.Float64Var(&o.days, "days", 0, "simulated days (0 = experiment default)")
+	fs.Uint64Var(&o.seed, "seed", 1, "root random seed")
+	fs.IntVar(&o.clients, "clients", 0, "number of mobile clients (0 = default)")
+	fs.IntVar(&o.objects, "objects", 0, "database objects (0 = default 2000)")
+
+	fs.StringVar(&o.granularity, "granularity", "hc", "caching granularity: nc|ac|oc|hc")
+	fs.StringVar(&o.policy, "policy", "ewma-0.5", "replacement policy spec")
+	fs.StringVar(&o.kind, "kind", "AQ", "query kind: AQ|NQ")
+	fs.StringVar(&o.heat, "heat", "sh", "heat pattern: sh|csh|cyclic")
+	fs.IntVar(&o.change, "change", 500, "CSH hot-set change rate in queries")
+	fs.StringVar(&o.arrival, "arrival", "poisson", "arrival pattern: poisson|bursty")
+	fs.Float64Var(&o.update, "update", 0.1, "update probability U")
+	fs.Float64Var(&o.beta, "beta", 0, "coherence staleness tolerance beta")
+	fs.StringVar(&o.coherenceS, "coherence", "lease", "coherence strategy: lease|fixed|ir")
+	fs.Float64Var(&o.fixedLease, "lease", 0, "fixed-lease duration in seconds (with -coherence fixed)")
+	fs.Float64Var(&o.shed, "shed", 0, "timeout-heuristic threshold in seconds (0 = off)")
+	fs.IntVar(&o.disconnect, "disconnected", 0, "number of disconnected clients V")
+	fs.Float64Var(&o.hours, "hours", 0, "disconnection duration D in hours")
+	fs.IntVar(&o.sharedHot, "shared", 0, "shared interest pool size in objects (0 = none)")
+	fs.Float64Var(&o.shareProb, "shareprob", 0, "probability a pick comes from the shared pool")
+	fs.IntVar(&o.bcastAttrs, "broadcast", 0, "broadcast the shared pool's top-N attrs (requires -shared)")
+
+	fs.IntVar(&o.cells, "cells", 0, "fleet cells; >1 shards clients and the database across cell partitions")
+	fs.IntVar(&o.relay, "relay", 0, "per-cell relay cache for remote partitions, in objects (0 = off)")
+	fs.Float64Var(&o.backboneBps, "backbone-bps", 0, "inter-cell backbone bandwidth in bits/s (0 = default 10 Mbps)")
+	fs.Float64Var(&o.backboneLat, "backbone-lat", 0, "inter-cell backbone one-way latency in seconds (0 = default 5 ms)")
+
+	fs.Float64Var(&o.loss, "loss", 0, "per-frame loss probability on each channel (0 = perfect)")
+	fs.Float64Var(&o.corrupt, "corrupt", 0, "per-frame corruption probability (CRC-detected at receiver)")
+	fs.Float64Var(&o.burst, "burst", 0, "fraction of time in burst outage (Gilbert-Elliott bad state)")
+	fs.Float64Var(&o.burstLen, "burstlen", 0, "mean burst-outage length in seconds (0 = default 10)")
+	fs.IntVar(&o.retryMax, "retry", 0, "max retransmissions per request (0 = default 3, negative = none)")
+	fs.Float64Var(&o.backoff, "backoff", 0, "base retry backoff in seconds (0 = default 1)")
+}
+
+// config assembles the experiment.Config the parsed flags describe.
+func (o *simOpts) config() (experiment.Config, error) {
+	cfg, err := buildConfig(o.granularity, o.policy, o.kind, o.heat, o.arrival,
+		o.change, o.update, o.beta, o.disconnect, o.hours, o.days, o.seed, o.clients, o.objects)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.ShedThreshold = o.shed
+	cfg.FixedLease = o.fixedLease
+	cfg.SharedHotObjects = o.sharedHot
+	cfg.SharedHotProb = o.shareProb
+	cfg.BroadcastAttrs = o.bcastAttrs
+	cfg.Cells = o.cells
+	cfg.RelayObjects = o.relay
+	cfg.BackboneBandwidthBps = o.backboneBps
+	cfg.BackboneLatency = o.backboneLat
+	applyFaultFlags(&cfg, o.loss, o.corrupt, o.burst, o.burstLen, o.retryMax, o.backoff)
+	switch o.coherenceS {
+	case "lease":
+		cfg.Coherence = coherence.LeaseStrategy
+	case "fixed":
+		cfg.Coherence = coherence.FixedLeaseStrategy
+	case "ir":
+		cfg.Coherence = coherence.InvalidationReportStrategy
+	default:
+		return cfg, fmt.Errorf("unknown coherence strategy %q (want lease|fixed|ir)", o.coherenceS)
+	}
+	return cfg, nil
+}
+
+// expBase reduces the flags to the sweep base config the experiments
+// inherit: scale, seed, and the channel fault environment.
+func (o *simOpts) expBase() experiment.Config {
+	base := experiment.Config{
+		Seed: o.seed, Days: o.days, NumClients: o.clients, NumObjects: o.objects,
+	}
+	applyFaultFlags(&base, o.loss, o.corrupt, o.burst, o.burstLen, o.retryMax, o.backoff)
+	return base
+}
+
+// profileFlags declares the profiling sinks shared by every subcommand.
+func profileFlags(fs *flag.FlagSet) (cpu, mem, addr *string) {
+	return fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// runOpts carries the execution wrappers around one configured run.
+type runOpts struct {
+	traceFile string
+	replicas  int
+	reportDir string
+}
+
+// executeRun validates cfg through the Scenario front door and runs it —
+// the fleet engine when cells were requested, with optional replication,
+// tracing, and report generation.
+func executeRun(cfg experiment.Config, o runOpts) error {
+	if _, err := experiment.New(experiment.WithConfig(cfg)); err != nil {
+		return err
+	}
+	var tracer *trace.CSVTracer
+	var traceOut *os.File
+	if o.traceFile != "" {
+		if o.reportDir != "" {
+			return fmt.Errorf("-report writes its own trace.csv; drop -trace")
+		}
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		traceOut, tracer = f, trace.NewCSV(f)
+		cfg.Tracer = tracer
+	}
+	finishTrace := func() error {
+		if tracer == nil {
+			return nil
+		}
+		if err := tracer.Flush(); err != nil {
+			traceOut.Close()
+			return err
+		}
+		return traceOut.Close()
+	}
+
+	if o.replicas > 1 {
+		rep := experiment.Replicate(cfg, o.replicas)
+		fmt.Println(rep)
+		if o.reportDir != "" {
+			// Instrument the base seed's run; the replication summary
+			// stays on stdout (it spans seeds, so it has no single
+			// manifest).
+			if _, err := instrumentedReport(o.reportDir, "run",
+				runCommand(cfg), nil, cfg, false); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", o.reportDir)
+		}
+		return finishTrace()
+	}
+
+	start := time.Now()
+	var res experiment.Result
+	if o.reportDir != "" {
+		r, err := instrumentedReport(o.reportDir, "run", runCommand(cfg), nil, cfg, false)
+		if err != nil {
+			return err
+		}
+		res = r
+	} else {
+		res = experiment.RunFleet(cfg)
+	}
+	printResult(res)
+	printThroughput(res.Events, time.Since(start))
+	if o.reportDir != "" {
+		fmt.Printf("report written to %s\n", o.reportDir)
+	}
+	return finishTrace()
+}
+
+// cmdRun implements `mcsim run`: one configuration from flags, or an
+// archived configuration replayed from a report manifest via -config.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("mcsim run", flag.ExitOnError)
+	var o simOpts
+	o.register(fs)
+	configPath := fs.String("config", "", "replay an archived run: a report directory or its manifest.json")
+	traceFile := fs.String("trace", "", "write a per-query CSV trace to this file")
+	replicas := fs.Int("replicas", 1, "independent replications with consecutive seeds")
+	reportDir := fs.String("report", "", "write manifest.json, report.md and trace.csv into this directory")
+	parallel := fs.Int("parallel", 0, "concurrent simulations for fleet cells and -replicas (0 = one per CPU)")
+	cpuProfile, memProfile, pprofAddr := profileFlags(fs)
+	fs.Parse(args)
+	experiment.SetDefaultWorkers(*parallel)
+
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
+
+	if *configPath != "" {
+		if set := explicitSimFlags(fs); len(set) > 0 {
+			fatal(fmt.Errorf("-config replays the manifest's configuration; drop %s",
+				strings.Join(set, ", ")))
+		}
+		man, _, err := readManifest(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replayManifest(man, *reportDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	cfg, err := o.config()
+	if err != nil {
+		fatal(err)
+	}
+	if err := executeRun(cfg, runOpts{
+		traceFile: *traceFile,
+		replicas:  *replicas,
+		reportDir: *reportDir,
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+// explicitSimFlags lists simulation flags the user set alongside -config,
+// which would silently lose to the manifest — rejected instead.
+func explicitSimFlags(fs *flag.FlagSet) []string {
+	harness := map[string]bool{
+		"config": true, "report": true, "parallel": true,
+		"cpuprofile": true, "memprofile": true, "pprof": true,
+	}
+	var set []string
+	fs.Visit(func(f *flag.Flag) {
+		if !harness[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+// cmdExp implements `mcsim exp <id>`: regenerate experiment tables.
+func cmdExp(args []string) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..8, table1, or all"))
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("mcsim exp", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced-scale pass (shorter horizon, sparser grids)")
+	days := fs.Float64("days", 0, "simulated days (0 = experiment default)")
+	seed := fs.Uint64("seed", 1, "root random seed")
+	clients := fs.Int("clients", 0, "number of mobile clients (0 = default)")
+	objects := fs.Int("objects", 0, "database objects (0 = default 2000)")
+	loss := fs.Float64("loss", 0, "per-frame loss probability every run inherits")
+	corrupt := fs.Float64("corrupt", 0, "per-frame corruption probability every run inherits")
+	burst := fs.Float64("burst", 0, "fraction of time in burst outage every run inherits")
+	burstLen := fs.Float64("burstlen", 0, "mean burst-outage length in seconds (0 = default 10)")
+	retryMax := fs.Int("retry", 0, "max retransmissions per request (0 = default 3, negative = none)")
+	backoff := fs.Float64("backoff", 0, "base retry backoff in seconds (0 = default 1)")
+	reportDir := fs.String("report", "", "write manifest.json, report.md and trace.csv into this directory")
+	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = one per CPU)")
+	cpuProfile, memProfile, pprofAddr := profileFlags(fs)
+	fs.Parse(args[1:])
+	experiment.SetDefaultWorkers(*parallel)
+
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
+
+	base := experiment.Config{Seed: *seed, Days: *days, NumClients: *clients, NumObjects: *objects}
+	applyFaultFlags(&base, *loss, *corrupt, *burst, *burstLen, *retryMax, *backoff)
+	if err := runExperiments(which, base, *quick, *reportDir); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdReport implements `mcsim report <dir>`: summarize an archived report
+// directory from its manifest; -verify re-executes the recorded simulation
+// and checks the reproduction against the archived hashes.
+func cmdReport(args []string) {
+	var dir string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		dir, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("mcsim report", flag.ExitOnError)
+	verify := fs.Bool("verify", false, "re-run the archived simulation and check it reproduces")
+	parallel := fs.Int("parallel", 0, "concurrent simulation runs during -verify (0 = one per CPU)")
+	fs.Parse(args)
+	if dir == "" {
+		dir = fs.Arg(0)
+	}
+	if dir == "" {
+		fatal(fmt.Errorf("usage: mcsim report <dir> [-verify]"))
+	}
+	experiment.SetDefaultWorkers(*parallel)
+
+	man, resolved, err := readManifest(dir)
+	if err != nil {
+		fatal(err)
+	}
+	printManifestSummary(resolved, man)
+	if *verify {
+		if err := verifyManifest(resolved, man); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printManifestSummary renders the manifest facts a reader checks first.
+func printManifestSummary(dir string, man report.Manifest) {
+	fmt.Printf("report %s\n", dir)
+	fmt.Printf("  experiment   %s\n", man.Experiment)
+	fmt.Printf("  command      %s\n", man.Command)
+	fmt.Printf("  config       %s\n", man.Config)
+	fmt.Printf("  seed         %d\n", man.Seed)
+	fmt.Printf("  environment  %s, git %s\n", man.GoVersion, man.GitRevision)
+	fmt.Printf("  wall time    %.1fs\n", man.WallSeconds)
+	fmt.Printf("  samples      %d every %gs across %d series\n",
+		man.Samples, man.IntervalS, len(man.Series))
+	if man.TraceRows > 0 {
+		fmt.Printf("  trace        %d rows (trace.csv)\n", man.TraceRows)
+	}
+	for _, t := range man.Tables {
+		fmt.Printf("  table        %s  sha256 %s\n", t.Title, shortHash(t.SHA256))
+	}
+}
+
+// shortHash abbreviates a hex digest for display.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+// parseSimOpts runs one argument list through the shared flag surface.
+func parseSimOpts(t *testing.T, args ...string) simOpts {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var o simOpts
+	o.register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSimOptsDefaultsMatchLegacy(t *testing.T) {
+	o := parseSimOpts(t)
+	cfg, err := o.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := buildConfig("hc", "ewma-0.5", "AQ", "sh", "poisson",
+		500, 0.1, 0, 0, 0, 0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Coherence = coherence.LeaseStrategy
+	if cfg != want {
+		t.Fatalf("flag defaults diverge from the legacy surface:\n%+v\nvs\n%+v", cfg, want)
+	}
+}
+
+func TestSimOptsFleetFlags(t *testing.T) {
+	o := parseSimOpts(t,
+		"-clients", "100", "-cells", "4", "-relay", "50",
+		"-backbone-bps", "2e6", "-backbone-lat", "0.01",
+		"-granularity", "oc", "-coherence", "fixed", "-lease", "30")
+	cfg, err := o.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumClients != 100 || cfg.Cells != 4 || cfg.RelayObjects != 50 ||
+		cfg.BackboneBandwidthBps != 2e6 || cfg.BackboneLatency != 0.01 {
+		t.Fatalf("fleet flags not applied: %+v", cfg)
+	}
+	if cfg.Granularity != core.ObjectCaching ||
+		cfg.Coherence != coherence.FixedLeaseStrategy || cfg.FixedLease != 30 {
+		t.Fatalf("sim flags not applied: %+v", cfg)
+	}
+}
+
+func TestSimOptsBadCoherence(t *testing.T) {
+	o := parseSimOpts(t, "-coherence", "psychic")
+	if _, err := o.config(); err == nil || !strings.Contains(err.Error(), "coherence") {
+		t.Fatalf("bad coherence accepted: %v", err)
+	}
+}
+
+func TestExplicitSimFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var o simOpts
+	o.register(fs)
+	fs.String("config", "", "")
+	fs.String("report", "", "")
+	fs.Int("parallel", 0, "")
+	if err := fs.Parse([]string{"-config", "x", "-report", "y", "-parallel", "2",
+		"-cells", "4", "-loss", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	set := explicitSimFlags(fs)
+	if len(set) != 2 || set[0] != "-cells" && set[1] != "-cells" {
+		t.Fatalf("explicit flags %v, want [-cells -loss]", set)
+	}
+}
+
+// TestReadManifestDirAndFile: a report directory and its manifest.json
+// resolve to the same manifest and artifact directory.
+func TestReadManifestDirAndFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := experiment.Config{Seed: 5, Days: 0.02, NumClients: 2, NumObjects: 200}
+	if _, err := instrumentedReport(dir, "run", runCommand(cfg), nil, cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, d1, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, d2, err := readManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != dir || d2 != dir {
+		t.Fatalf("resolved dirs %q, %q, want %q", d1, d2, dir)
+	}
+	if fromDir.Experiment != "run" || fromFile.Seed != 5 {
+		t.Fatalf("manifests incomplete: %+v / %+v", fromDir, fromFile)
+	}
+	if _, _, err := readManifest(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+// TestVerifyRunManifest pins the replay loop for run reports: the archived
+// report.md reproduces byte-for-byte, and a tampered archive is caught.
+func TestVerifyRunManifest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := experiment.Config{Seed: 5, Days: 0.02, NumClients: 2, NumObjects: 200}
+	if _, err := instrumentedReport(dir, "run", runCommand(cfg), nil, cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyManifest(dir, man); err != nil {
+		t.Fatalf("pristine archive failed verification: %v", err)
+	}
+
+	md := filepath.Join(dir, "report.md")
+	if err := os.WriteFile(md, []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyManifest(dir, man); err == nil ||
+		!strings.Contains(err.Error(), "does not reproduce") {
+		t.Fatalf("tampered archive passed verification: %v", err)
+	}
+}
+
+// TestReplayExpManifest is the acceptance path: an archived experiment
+// report replays from its manifest alone and reproduces the recorded table
+// hashes; a doctored hash is rejected.
+func TestReplayExpManifest(t *testing.T) {
+	base := experiment.Config{Seed: 3, Days: 0.02, NumClients: 2, NumObjects: 200}
+	dir := t.TempDir()
+	if err := runExperiments("1", base, false, dir); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayManifest(man, ""); err != nil {
+		t.Fatalf("replay from manifest failed: %v", err)
+	}
+
+	man.Tables[0].SHA256 = strings.Repeat("0", 64)
+	if err := replayManifest(man, ""); err == nil ||
+		!strings.Contains(err.Error(), "does not reproduce") {
+		t.Fatalf("doctored table hash passed replay: %v", err)
+	}
+}
+
+// TestManifestBase: replay reconstructs exactly the flag-settable base.
+func TestManifestBase(t *testing.T) {
+	base := experiment.Config{Seed: 3, Days: 0.02, NumClients: 2, NumObjects: 200,
+		LossRate: 0.05, RetryMax: 2}
+	rep := experiment.Exp1(base)
+	man := reportManifestFor(t, rep)
+	got := manifestBase(man)
+	want := base
+	want.Days = rep.Results[0].Config.Days // defaulted value round-trips
+	if got != want {
+		t.Fatalf("manifest base %+v, want %+v", got, want)
+	}
+	if quickFromManifest(man) {
+		t.Fatal("full sweep flagged quick")
+	}
+	man.Command = "mcsim exp 1 -seed 3 -quick -report <dir>"
+	if !quickFromManifest(man) {
+		t.Fatal("pre-Quick-field manifest command not recognized")
+	}
+}
+
+// reportManifestFor builds the manifest an instrumented rerun of rep's
+// first configuration would write, without touching disk.
+func reportManifestFor(t *testing.T, rep *experiment.Report) report.Manifest {
+	t.Helper()
+	cfg := rep.Results[0].Config
+	return report.NewManifest("exp1", "mcsim exp 1 -seed 3 -report <dir>", cfg, rep, nil)
+}

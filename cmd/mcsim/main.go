@@ -1,41 +1,59 @@
 // Command mcsim regenerates the paper's experiments or runs a single
 // custom simulation of the mobile caching system.
 //
+// The command surface is three subcommands:
+//
+//	mcsim run [flags]        one configuration (single cell or a fleet)
+//	mcsim exp <id> [flags]   experiment tables: 1..8, table1, or all
+//	mcsim report <dir>       summarize a report directory; -verify replays it
+//
 // Regenerate a figure (the experiment numbers match §5 of the paper):
 //
-//	mcsim -exp 1          # Figure 2: caching granularity
-//	mcsim -exp 2          # Figure 3: replacement policies, best case
-//	mcsim -exp 3          # Figure 4: replacement policies, realistic
-//	mcsim -exp 4          # Figures 5+6: CSH change rates and cyclic
-//	mcsim -exp 5          # Figure 7: coherence (beta x U)
-//	mcsim -exp 6          # Figure 8: disconnection (D x V)
-//	mcsim -exp 7          # beyond the paper: unreliable channels (loss x G x coherence)
-//	mcsim -exp table1     # Table 1: parameter settings
-//	mcsim -exp all        # everything
+//	mcsim exp 1           # Figure 2: caching granularity
+//	mcsim exp 2           # Figure 3: replacement policies, best case
+//	mcsim exp 3           # Figure 4: replacement policies, realistic
+//	mcsim exp 4           # Figures 5+6: CSH change rates and cyclic
+//	mcsim exp 5           # Figure 7: coherence (beta x U)
+//	mcsim exp 6           # Figure 8: disconnection (D x V)
+//	mcsim exp 7           # beyond the paper: unreliable channels
+//	mcsim exp 8           # beyond the paper: fleet scaling (clients x cells)
+//	mcsim exp table1      # Table 1: parameter settings
+//	mcsim exp all         # everything
 //
 // Add -quick for a reduced-scale pass (shorter horizon, sparser grids).
 // Sweeps execute on a worker pool, one independent simulation per CPU by
 // default; -parallel N overrides the pool size (-parallel 1 forces the old
 // serial behaviour — tables are identical either way).
 //
-// Run one custom configuration:
+// Run one custom configuration, or scale it out to a multi-cell fleet:
 //
-//	mcsim -run -granularity hc -policy ewma-0.5 -kind NQ -heat csh \
+//	mcsim run -granularity hc -policy ewma-0.5 -kind NQ -heat csh \
 //	      -arrival bursty -update 0.3 -beta 1 -days 2
+//	mcsim run -clients 1000 -cells 8 -relay 200 -days 0.25
 //
 // Simulate unreliable channels (deterministic fault injection + client
 // retry/backoff; see DESIGN.md §9):
 //
-//	mcsim -run -granularity hc -loss 0.1 -retry 3          # 10% frame loss
-//	mcsim -run -granularity ac -loss 0.05 -burst 0.2       # plus burst outages
+//	mcsim run -granularity hc -loss 0.1 -retry 3          # 10% frame loss
+//	mcsim run -granularity ac -loss 0.05 -burst 0.2       # plus burst outages
 //
 // Generate a self-contained run report (docs/OBSERVABILITY.md): manifest,
-// Markdown with inline SVG timelines, and a per-query trace. With -exp the
+// Markdown with inline SVG timelines, and a per-query trace. With exp the
 // sweep runs first and one representative configuration is re-run
-// instrumented; with -run the single run itself is instrumented:
+// instrumented; with run the single run itself is instrumented:
 //
-//	mcsim -exp 1 -report out/       # tables + instrumented Exp1 run
-//	mcsim -run -loss 0.1 -report out/
+//	mcsim exp 1 -report out/        # tables + instrumented Exp1 run
+//	mcsim run -loss 0.1 -report out/
+//
+// Any archived report reproduces from its own manifest with one flag, and
+// a reproduction can be checked against the recorded table hashes:
+//
+//	mcsim run -config out/manifest.json
+//	mcsim report out/ -verify
+//
+// The pre-subcommand flag surface (mcsim -run ..., mcsim -exp 1 ...) still
+// works so existing scripts keep running; new capabilities land on the
+// subcommands only.
 package main
 
 import (
@@ -45,7 +63,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -55,50 +72,56 @@ import (
 )
 
 func main() {
-	var (
-		expFlag  = flag.String("exp", "", "experiment to regenerate: 1..7, table1, or all")
-		quick    = flag.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
-		runOne   = flag.Bool("run", false, "run a single custom configuration")
-		parallel = flag.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			cmdRun(os.Args[2:])
+			return
+		case "exp":
+			cmdExp(os.Args[2:])
+			return
+		case "report":
+			cmdReport(os.Args[2:])
+			return
+		case "help", "-h", "-help", "--help":
+			usage()
+			return
+		}
+	}
+	legacyMain()
+}
 
-		days    = flag.Float64("days", 0, "simulated days (0 = experiment default)")
-		seed    = flag.Uint64("seed", 1, "root random seed")
-		clients = flag.Int("clients", 0, "number of mobile clients (0 = default)")
-		objects = flag.Int("objects", 0, "database objects (0 = default 2000)")
+// usage prints the subcommand synopsis (per-subcommand flags: mcsim run -h).
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mcsim run [flags]          run one configuration (mcsim run -h for flags)
+  mcsim exp <id> [flags]     regenerate experiments: 1..8, table1, or all
+  mcsim report <dir> [-verify]  summarize (and optionally replay) a report
+  mcsim -run|-exp ...        legacy flag surface, kept for existing scripts
+`)
+}
 
-		granularity = flag.String("granularity", "hc", "caching granularity: nc|ac|oc|hc")
-		policy      = flag.String("policy", "ewma-0.5", "replacement policy spec")
-		kind        = flag.String("kind", "AQ", "query kind: AQ|NQ")
-		heat        = flag.String("heat", "sh", "heat pattern: sh|csh|cyclic")
-		changeRate  = flag.Int("change", 500, "CSH hot-set change rate in queries")
-		arrival     = flag.String("arrival", "poisson", "arrival pattern: poisson|bursty")
-		update      = flag.Float64("update", 0.1, "update probability U")
-		beta        = flag.Float64("beta", 0, "coherence staleness tolerance beta")
-		coherenceS  = flag.String("coherence", "lease", "coherence strategy: lease|fixed|ir")
-		fixedLease  = flag.Float64("lease", 0, "fixed-lease duration in seconds (with -coherence fixed)")
-		shed        = flag.Float64("shed", 0, "timeout-heuristic threshold in seconds (0 = off)")
-		disconnect  = flag.Int("disconnected", 0, "number of disconnected clients V")
-		duration    = flag.Float64("hours", 0, "disconnection duration D in hours")
-		traceFile   = flag.String("trace", "", "write a per-query CSV trace to this file (-run only)")
-		replicas    = flag.Int("replicas", 1, "independent replications with consecutive seeds (-run only)")
-		sharedHot   = flag.Int("shared", 0, "shared interest pool size in objects (0 = none)")
-		shareProb   = flag.Float64("shareprob", 0, "probability a pick comes from the shared pool")
-		bcastAttrs  = flag.Int("broadcast", 0, "broadcast the shared pool's top-N attrs (requires -shared)")
-
-		lossRate   = flag.Float64("loss", 0, "per-frame loss probability on each channel (0 = perfect)")
-		corrupt    = flag.Float64("corrupt", 0, "per-frame corruption probability (CRC-detected at receiver)")
-		burst      = flag.Float64("burst", 0, "fraction of time in burst outage (Gilbert-Elliott bad state)")
-		burstLen   = flag.Float64("burstlen", 0, "mean burst-outage length in seconds (0 = default 10)")
-		retryMax   = flag.Int("retry", 0, "max retransmissions per request (0 = default 3, negative = none)")
-		backoff    = flag.Float64("backoff", 0, "base retry backoff in seconds (0 = default 1)")
-
-		reportDir = flag.String("report", "", "write manifest.json, report.md and trace.csv into this directory")
-
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	)
-	flag.Parse()
+// legacyMain is the pre-subcommand flag surface (-run / -exp as booleans on
+// one big flag set). It is kept verbatim so existing scripts and archived
+// manifest commands keep working; the subcommands are the documented way in.
+func legacyMain() {
+	fs := flag.NewFlagSet("mcsim", flag.ExitOnError)
+	fs.Usage = func() {
+		usage()
+		fmt.Fprintln(os.Stderr, "\nlegacy flags:")
+		fs.PrintDefaults()
+	}
+	var o simOpts
+	o.register(fs)
+	expFlag := fs.String("exp", "", "experiment to regenerate: 1..8, table1, or all")
+	quick := fs.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
+	runOne := fs.Bool("run", false, "run a single custom configuration")
+	parallel := fs.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
+	traceFile := fs.String("trace", "", "write a per-query CSV trace to this file (-run only)")
+	replicas := fs.Int("replicas", 1, "independent replications with consecutive seeds (-run only)")
+	reportDir := fs.String("report", "", "write manifest.json, report.md and trace.csv into this directory")
+	cpuProfile, memProfile, pprofAddr := profileFlags(fs)
+	fs.Parse(os.Args[1:])
 	experiment.SetDefaultWorkers(*parallel)
 
 	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
@@ -111,81 +134,23 @@ func main() {
 
 	switch {
 	case *runOne:
-		cfg, err := buildConfig(*granularity, *policy, *kind, *heat, *arrival,
-			*changeRate, *update, *beta, *disconnect, *duration, *days, *seed, *clients, *objects)
+		cfg, err := o.config()
 		if err != nil {
 			fatal(err)
 		}
-		cfg.ShedThreshold = *shed
-		cfg.FixedLease = *fixedLease
-		cfg.SharedHotObjects = *sharedHot
-		cfg.SharedHotProb = *shareProb
-		cfg.BroadcastAttrs = *bcastAttrs
-		applyFaultFlags(&cfg, *lossRate, *corrupt, *burst, *burstLen, *retryMax, *backoff)
-		switch *coherenceS {
-		case "lease":
-			cfg.Coherence = coherence.LeaseStrategy
-		case "fixed":
-			cfg.Coherence = coherence.FixedLeaseStrategy
-		case "ir":
-			cfg.Coherence = coherence.InvalidationReportStrategy
-		default:
-			fatal(fmt.Errorf("unknown coherence strategy %q (want lease|fixed|ir)", *coherenceS))
+		if err := executeRun(cfg, runOpts{
+			traceFile: *traceFile,
+			replicas:  *replicas,
+			reportDir: *reportDir,
+		}); err != nil {
+			fatal(err)
 		}
-		if *traceFile != "" {
-			if *reportDir != "" {
-				fatal(fmt.Errorf("-report writes its own trace.csv; drop -trace"))
-			}
-			f, err := os.Create(*traceFile)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			tracer := trace.NewCSV(f)
-			cfg.Tracer = tracer
-			defer func() {
-				if err := tracer.Flush(); err != nil {
-					fatal(err)
-				}
-			}()
-		}
-		if *replicas > 1 {
-			rep := experiment.Replicate(cfg, *replicas)
-			fmt.Println(rep)
-			if *reportDir != "" {
-				// Instrument the base seed's run; the replication summary
-				// stays on stdout (it spans seeds, so it has no single
-				// manifest).
-				if _, err := instrumentedReport(*reportDir, "run",
-					runCommand(cfg), nil, cfg); err != nil {
-					fatal(err)
-				}
-				fmt.Printf("report written to %s\n", *reportDir)
-			}
-			return
-		}
-		if *reportDir != "" {
-			res, err := instrumentedReport(*reportDir, "run", runCommand(cfg), nil, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			printResult(res)
-			fmt.Printf("report written to %s\n", *reportDir)
-			return
-		}
-		res := experiment.Run(cfg)
-		printResult(res)
 	case *expFlag != "":
-		base := experiment.Config{Seed: *seed, Days: *days, NumClients: *clients, NumObjects: *objects}
-		applyFaultFlags(&base, *lossRate, *corrupt, *burst, *burstLen, *retryMax, *backoff)
-		if *quick && base.Days == 0 {
-			base.Days = 1
-		}
-		if err := runExperiments(*expFlag, base, *quick, *reportDir); err != nil {
+		if err := runExperiments(*expFlag, o.expBase(), *quick, *reportDir); err != nil {
 			fatal(err)
 		}
 	default:
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
 }
@@ -196,7 +161,7 @@ func fatal(err error) {
 }
 
 // applyFaultFlags threads the unreliable-channel flags into a config. For
-// -exp sweeps they become the base every run inherits (Exp7 overrides the
+// exp sweeps they become the base every run inherits (Exp7 overrides the
 // loss/burst knobs it sweeps); all-zero flags leave the config untouched,
 // preserving the byte-identical perfect-channel tables.
 func applyFaultFlags(cfg *experiment.Config, loss, corrupt, burst, burstLen float64,
@@ -277,6 +242,14 @@ func printResult(res experiment.Result) {
 	fmt.Printf("server         %d queries, %d disk reads, buffer hit %.1f%%, %d updates\n",
 		res.Server.QueriesServed, res.Server.DiskReads,
 		100*res.Server.BufferHitRatio, res.Server.UpdatesApplied)
+	if res.Config.Cells > 1 {
+		fmt.Printf("fleet          %d cells; backbone %.2f MB in %d messages\n",
+			res.Config.Cells, float64(res.BackboneBytes)/1e6, res.BackboneMessages)
+		if probes := res.RelayHits + res.RelayMisses; probes > 0 {
+			fmt.Printf("relay cache    %d hits, %d misses (%d relayed reads)\n",
+				res.RelayHits, res.RelayMisses, res.RelayedReads)
+		}
+	}
 	fmt.Printf("radio energy   %.3f J/query\n", res.RadioEnergyPerQuery)
 	if res.BroadcastReads > 0 {
 		fmt.Printf("air reads      %d (broadcast channel)\n", res.BroadcastReads)
@@ -295,8 +268,20 @@ func printResult(res experiment.Result) {
 	}
 }
 
-// expCatalog summarizes every -exp key in selection order; the unknown
-// -experiment error prints it so a typo teaches the valid range.
+// printThroughput reports wall-clock event throughput. It prints after the
+// deterministic result block: Result.Events is reproducible, the wall time
+// is environment fact, and only their ratio mixes the two.
+func printThroughput(events uint64, wall time.Duration) {
+	s := wall.Seconds()
+	if events == 0 || s <= 0 {
+		return
+	}
+	fmt.Printf("throughput     %d events in %.1fs wall (%.3g events/s)\n",
+		events, s, float64(events)/s)
+}
+
+// expCatalog summarizes every experiment key in selection order; the
+// unknown-experiment error prints it so a typo teaches the valid range.
 var expCatalog = []struct{ key, summary string }{
 	{"1", "Figure 2: caching granularity (NC/AC/OC/HC)"},
 	{"2", "Figure 3: replacement policies, best case"},
@@ -305,32 +290,33 @@ var expCatalog = []struct{ key, summary string }{
 	{"5", "Figure 7: coherence (beta x U)"},
 	{"6", "Figure 8: disconnected operation (D x V)"},
 	{"7", "beyond the paper: unreliable channels (loss x burst x coherence)"},
+	{"8", "beyond the paper: fleet scaling (clients x cells x relay cache)"},
 	{"table1", "Table 1: parameter settings"},
 	{"all", "every experiment above"},
 }
 
-// unknownExperiment builds the error for an unrecognized -exp value: the
+// unknownExperiment builds the error for an unrecognized experiment id: the
 // valid range plus one line per experiment.
 func unknownExperiment(which string) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "unknown experiment %q (want 1..7, table1, all); valid experiments:", which)
+	fmt.Fprintf(&b, "unknown experiment %q (want 1..8, table1, all); valid experiments:", which)
 	for _, e := range expCatalog {
 		fmt.Fprintf(&b, "\n  %-6s  %s", e.key, e.summary)
 	}
 	return fmt.Errorf("%s", b.String())
 }
 
-// runExperiments regenerates the requested experiment(s). With a non-empty
-// reportDir, the first experiment's first configuration is re-run
-// instrumented after the sweep and the report artifacts are written there.
-func runExperiments(which string, base experiment.Config, quick bool, reportDir string) error {
-	type job struct {
-		name string
-		run  func() fmt.Stringer
-	}
-	var jobs []job
+// expJob is one named table-producing sweep inside an exp invocation.
+type expJob struct {
+	name string
+	run  func() fmt.Stringer
+}
+
+// expJobs selects the jobs an experiment id expands to, in print order.
+func expJobs(which string, base experiment.Config, quick bool) ([]expJob, error) {
+	var jobs []expJob
 	add := func(name string, run func() fmt.Stringer) {
-		jobs = append(jobs, job{name, run})
+		jobs = append(jobs, expJob{name, run})
 	}
 	wantAll := which == "all"
 	want := func(n string) bool { return wantAll || which == n }
@@ -368,61 +354,115 @@ func runExperiments(which string, base experiment.Config, quick bool, reportDir 
 			add("Experiment #7 (unreliable channels)", func() fmt.Stringer { return experiment.Exp7(base) })
 		}
 	}
-	if len(jobs) == 0 {
-		return unknownExperiment(which)
+	if want("8") {
+		if quick {
+			add("Experiment #8 (fleet scaling, quick grid)", func() fmt.Stringer { return experiment.Exp8Quick(base) })
+		} else {
+			add("Experiment #8 (fleet scaling)", func() fmt.Stringer { return experiment.Exp8(base) })
+		}
 	}
+	if len(jobs) == 0 {
+		return nil, unknownExperiment(which)
+	}
+	return jobs, nil
+}
+
+// runJobs prints every job's tables with wall time and event throughput,
+// returning the first report that ran simulations (the one a -report
+// instruments and a manifest hashes).
+func runJobs(jobs []expJob) *experiment.Report {
 	var firstRep *experiment.Report
 	for _, j := range jobs {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", j.name)
 		out := j.run()
 		fmt.Println(out.String())
-		fmt.Printf("(%s in %.1fs)\n\n", j.name, time.Since(start).Seconds())
-		if r, ok := out.(*experiment.Report); ok && firstRep == nil && len(r.Results) > 0 {
-			firstRep = r
+		wall := time.Since(start).Seconds()
+		rep, ok := out.(*experiment.Report)
+		var events uint64
+		if ok {
+			for _, res := range rep.Results {
+				events += res.Events
+			}
+		}
+		if events > 0 && wall > 0 {
+			fmt.Printf("(%s in %.1fs, %.3g events/s)\n\n", j.name, wall, float64(events)/wall)
+		} else {
+			fmt.Printf("(%s in %.1fs)\n\n", j.name, wall)
+		}
+		if ok && firstRep == nil && len(rep.Results) > 0 {
+			firstRep = rep
 		}
 	}
+	return firstRep
+}
+
+// runExperiments regenerates the requested experiment(s). With a non-empty
+// reportDir, the first experiment's first configuration is re-run
+// instrumented after the sweep and the report artifacts are written there.
+func runExperiments(which string, base experiment.Config, quick bool, reportDir string) error {
+	_, err := runExperimentsRep(which, base, quick, reportDir)
+	return err
+}
+
+// runExperimentsRep is runExperiments returning the first table-producing
+// report, which manifest replays hash-check against the archived digests.
+// Quick mode shortens an unset horizon to one day — except for Experiment
+// #8, whose fleet grid carries its own shorter default.
+func runExperimentsRep(which string, base experiment.Config, quick bool,
+	reportDir string) (*experiment.Report, error) {
+
+	if quick && base.Days == 0 && which != "8" {
+		base.Days = 1
+	}
+	jobs, err := expJobs(which, base, quick)
+	if err != nil {
+		return nil, err
+	}
+	firstRep := runJobs(jobs)
 	if reportDir != "" {
 		if firstRep == nil {
-			return fmt.Errorf("-report needs a simulation to instrument (table1 runs none)")
+			return nil, fmt.Errorf("-report needs a simulation to instrument (table1 runs none)")
 		}
 		cfg := firstRep.Results[0].Config
 		// The literal "<dir>" keeps report bytes independent of where the
 		// artifacts landed: same seed, same bytes, any output directory.
-		command := fmt.Sprintf("mcsim -exp %s -seed %d", which, base.Seed)
+		command := fmt.Sprintf("mcsim exp %s -seed %d", which, base.Seed)
 		if quick {
 			command += " -quick"
 		}
 		command += " -report <dir>"
-		if _, err := instrumentedReport(reportDir, "exp"+which, command, firstRep, cfg); err != nil {
-			return err
+		if _, err := instrumentedReport(reportDir, "exp"+which, command, firstRep, cfg, quick); err != nil {
+			return firstRep, err
 		}
 		fmt.Printf("report: instrumented %s re-run written to %s\n", cfg, reportDir)
 	}
-	return nil
+	return firstRep, nil
 }
 
-// runCommand renders the reproduce command for a -run report. The manifest
+// runCommand renders the reproduce command for a run report. The manifest
 // config is the authoritative parameter record; the command names the
 // flags a rerun usually needs. "<dir>" stands in for the output directory
 // so report bytes never depend on where the artifacts landed.
 func runCommand(cfg experiment.Config) string {
-	return fmt.Sprintf("mcsim -run -granularity %s -policy %s -seed %d -report <dir> (full parameters: manifest config)",
+	return fmt.Sprintf("mcsim run -granularity %s -policy %s -seed %d -report <dir> (full parameters: manifest config)",
 		cfg.Granularity, cfg.Policy, cfg.Seed)
 }
 
 // instrumentedReport runs cfg with an obs registry and a trace collector
 // attached and writes manifest.json, report.md and trace.csv into dir.
-// rep (optional) supplies the sweep tables the report embeds and hashes.
+// rep (optional) supplies the sweep tables the report embeds and hashes;
+// quick is recorded in the manifest so replays regenerate the same grids.
 func instrumentedReport(dir, expName, command string, rep *experiment.Report,
-	cfg experiment.Config) (experiment.Result, error) {
+	cfg experiment.Config, quick bool) (experiment.Result, error) {
 
 	col := &trace.Collector{}
 	cfg.Tracer = col
 	cfg.Obs = obs.New(0)
 	start := time.Now()
-	res := experiment.Run(cfg)
+	res := experiment.RunFleet(cfg)
 	man := report.NewManifest(expName, command, res.Config, rep, cfg.Obs)
+	man.Quick = quick
 	man.WallSeconds = time.Since(start).Seconds()
 	err := report.Write(dir, report.Input{
 		Manifest: man,

@@ -80,7 +80,7 @@ func TestRunExperimentsUnknown(t *testing.T) {
 	// The error teaches the valid range: every catalog key with its
 	// one-line summary.
 	msg := err.Error()
-	if !strings.Contains(msg, "want 1..7, table1, all") {
+	if !strings.Contains(msg, "want 1..8, table1, all") {
 		t.Fatalf("error lacks valid range: %v", msg)
 	}
 	for _, e := range expCatalog {
@@ -132,7 +132,7 @@ func TestRunExperimentsReport(t *testing.T) {
 		t.Fatalf("manifest.json invalid: %v", err)
 	}
 	if man.Experiment != "exp1" || man.Seed != 3 || len(man.Tables) == 0 ||
-		!strings.Contains(man.Command, "-exp 1") {
+		!strings.Contains(man.Command, "exp 1") {
 		t.Fatalf("manifest incomplete: %+v", man)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "trace.csv")); err != nil {

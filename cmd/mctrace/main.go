@@ -1,24 +1,40 @@
-// Command mctrace summarizes a per-query CSV trace produced by
-// `mcsim -run -trace file.csv`: run-level metrics, response-time
-// percentiles, and per-client / per-hour breakdowns.
+// Command mctrace summarizes a per-query CSV trace: run-level metrics,
+// response-time percentiles, and per-client / per-hour breakdowns.
 //
-//	mcsim -run -granularity hc -arrival bursty -days 1 -trace run.csv
+//	mcsim run -granularity hc -arrival bursty -days 1 -trace run.csv
 //	mctrace run.csv
+//
+// A report directory works too: mctrace resolves its trace.csv and, when a
+// manifest.json is present, prints the archived reproduce command first.
+//
+//	mcsim run -loss 0.1 -report out/
+//	mctrace out/
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/report"
 	"repro/internal/trace"
 )
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: mctrace <trace.csv>")
+		fmt.Fprintln(os.Stderr, "usage: mctrace <trace.csv | report-dir>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	path, err := resolveTrace(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mctrace:", err)
+		os.Exit(1)
+	}
+	if header := manifestHeader(filepath.Dir(path)); header != "" {
+		fmt.Println(header)
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mctrace:", err)
 		os.Exit(1)
@@ -30,4 +46,35 @@ func main() {
 		os.Exit(1)
 	}
 	trace.Analyze(records).WriteReport(os.Stdout)
+}
+
+// resolveTrace maps a report directory to its trace.csv; files pass
+// through unchanged.
+func resolveTrace(path string) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return path, nil
+	}
+	p := filepath.Join(path, "trace.csv")
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("%s holds no trace.csv (was the run traced? see mcsim run -report)", path)
+	}
+	return p, nil
+}
+
+// manifestHeader describes the run a report directory's trace came from,
+// or "" when no readable manifest sits next to it.
+func manifestHeader(dir string) string {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return ""
+	}
+	var man report.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("trace from %s (seed %d): %s", man.Experiment, man.Seed, man.Command)
 }

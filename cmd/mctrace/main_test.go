@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResolveTraceFile(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "run.csv")
+	if err := os.WriteFile(f, []byte("header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolveTrace(f)
+	if err != nil || got != f {
+		t.Fatalf("resolveTrace(%q) = %q, %v", f, got, err)
+	}
+}
+
+func TestResolveTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := resolveTrace(dir); err == nil ||
+		!strings.Contains(err.Error(), "trace.csv") {
+		t.Fatalf("directory without trace.csv accepted: %v", err)
+	}
+	want := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(want, []byte("header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolveTrace(dir)
+	if err != nil || got != want {
+		t.Fatalf("resolveTrace(%q) = %q, %v", dir, got, err)
+	}
+	if _, err := resolveTrace(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestManifestHeader(t *testing.T) {
+	dir := t.TempDir()
+	if h := manifestHeader(dir); h != "" {
+		t.Fatalf("header without manifest: %q", h)
+	}
+	man := `{"experiment":"run","seed":7,"command":"mcsim run -seed 7 -report <dir>"}`
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(man), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := manifestHeader(dir)
+	if !strings.Contains(h, "seed 7") || !strings.Contains(h, "mcsim run") {
+		t.Fatalf("header incomplete: %q", h)
+	}
+}

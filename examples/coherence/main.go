@@ -8,11 +8,15 @@
 // duration"), then disconnects some clients to show the invalidation
 // reports' failure mode (cache drops after missed reports).
 //
+// Scenarios are composed from a shared option slice plus per-case extras
+// (see docs/API.md for the full option catalog).
+//
 //	go run ./examples/coherence
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -21,30 +25,34 @@ import (
 )
 
 func main() {
-	base := experiment.Config{
-		Seed:        21,
-		Days:        1,
-		Granularity: core.HybridCaching,
-		Policy:      "ewma-0.5",
-		QueryKind:   workload.Associative,
-		Heat:        experiment.SkewedHeat,
-		UpdateProb:  0.3, // write-heavy enough for coherence to matter
+	base := []experiment.Option{
+		experiment.WithSeed(21),
+		experiment.WithHorizonDays(1),
+		experiment.WithGranularity(core.HybridCaching),
+		experiment.WithPolicy("ewma-0.5"),
+		experiment.WithQueryKind(workload.Associative),
+		experiment.WithHeat(experiment.SkewedHeat),
+		experiment.WithUpdateProb(0.3), // write-heavy enough for coherence to matter
+	}
+	run := func(extra ...experiment.Option) experiment.Result {
+		sc, err := experiment.New(append(append([]experiment.Option{}, base...), extra...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sc.Run()
 	}
 
 	fmt.Println("== picking a lease duration (all clients connected, U=0.3) ==")
 	fmt.Printf("%-16s  %8s  %8s\n", "strategy", "hit %", "err %")
-	show := func(name string, cfg experiment.Config) experiment.Result {
-		res := experiment.Run(cfg)
+	show := func(name string, res experiment.Result) {
 		fmt.Printf("%-16s  %8.1f  %8.2f\n", name, 100*res.HitRatio, 100*res.ErrorRate)
-		return res
 	}
-	adaptive := base
-	show("adaptive RT", adaptive)
+	show("adaptive RT", run())
 	for _, lease := range []float64{60, 600, 6000} {
-		cfg := base
-		cfg.Coherence = coherence.FixedLeaseStrategy
-		cfg.FixedLease = lease
-		show(fmt.Sprintf("fixed %gs", lease), cfg)
+		show(fmt.Sprintf("fixed %gs", lease), run(
+			experiment.WithCoherence(coherence.FixedLeaseStrategy),
+			experiment.WithFixedLease(lease),
+		))
 	}
 	fmt.Println("\nshort fixed leases kill the hit ratio; long ones leak errors.")
 	fmt.Println("the adaptive estimate tracks each item's own write rate.")
@@ -58,11 +66,10 @@ func main() {
 		{"adaptive leases", coherence.LeaseStrategy},
 		{"invalidation rpts", coherence.InvalidationReportStrategy},
 	} {
-		cfg := base
-		cfg.Coherence = c.strat
-		cfg.DisconnectedClients = 4
-		cfg.DisconnectHours = 6
-		res := experiment.Run(cfg)
+		res := run(
+			experiment.WithCoherence(c.strat),
+			experiment.WithDisconnection(4, 6),
+		)
 		fmt.Printf("%-20s  %8.1f  %8.2f  %12d\n",
 			c.name, 100*res.HitRatio, 100*res.ErrorRate, res.CacheDrops)
 	}

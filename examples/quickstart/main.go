@@ -1,12 +1,15 @@
 // Quickstart: run one simulated day of the mobile caching system with the
 // paper's defaults (hybrid caching, EWMA-0.5 replacement, lease-based
-// coherence) and print the three §5 metrics.
+// coherence) and print the three §5 metrics. Scenarios are built with
+// experiment.New and validating functional options — invalid combinations
+// are rejected with named errors before anything runs (see docs/API.md).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -14,20 +17,23 @@ import (
 )
 
 func main() {
-	cfg := experiment.Config{
-		Label:       "quickstart",
-		Seed:        42,
-		Days:        1,
-		Granularity: core.HybridCaching,
-		Policy:      "ewma-0.5",
-		QueryKind:   workload.Associative,
-		Heat:        experiment.SkewedHeat,
-		UpdateProb:  0.1,
+	sc, err := experiment.New(
+		experiment.WithLabel("quickstart"),
+		experiment.WithSeed(42),
+		experiment.WithHorizonDays(1),
+		experiment.WithGranularity(core.HybridCaching),
+		experiment.WithPolicy("ewma-0.5"),
+		experiment.WithQueryKind(workload.Associative),
+		experiment.WithHeat(experiment.SkewedHeat),
+		experiment.WithUpdateProb(0.1),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("simulating 1 day: 10 mobile clients, 2000-object OODB,")
 	fmt.Println("two 19.2 Kbps wireless channels, hybrid caching, EWMA-0.5...")
-	res := experiment.Run(cfg)
+	res := sc.Run()
 
 	fmt.Printf("\n  cache hit ratio  %6.1f%%\n", 100*res.HitRatio)
 	fmt.Printf("  response time    %6.3f s\n", res.MeanResponse)
@@ -36,10 +42,20 @@ func main() {
 	fmt.Printf("  downlink load    %5.1f%%\n", 100*res.DownlinkUtilization)
 
 	// The headline of the paper: storage caching versus no caching.
-	nc := cfg
-	nc.Label = "quickstart-nc"
-	nc.Granularity = core.NoCache
-	base := experiment.Run(nc)
+	nc, err := experiment.New(
+		experiment.WithLabel("quickstart-nc"),
+		experiment.WithSeed(42),
+		experiment.WithHorizonDays(1),
+		experiment.WithGranularity(core.NoCache),
+		experiment.WithPolicy("ewma-0.5"),
+		experiment.WithQueryKind(workload.Associative),
+		experiment.WithHeat(experiment.SkewedHeat),
+		experiment.WithUpdateProb(0.1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := nc.Run()
 	fmt.Printf("\nwithout storage caching (NC): hit %.1f%%, response %.3fs —\n",
 		100*base.HitRatio, base.MeanResponse)
 	fmt.Printf("mobile caching cuts response time by %.1fx.\n",

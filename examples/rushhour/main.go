@@ -17,6 +17,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -24,14 +25,21 @@ import (
 )
 
 func main() {
-	base := experiment.Config{
-		Seed:        99,
-		Days:        2,
-		Granularity: core.HybridCaching,
-		Policy:      "ewma-0.5",
-		QueryKind:   workload.Associative,
-		Heat:        experiment.SkewedHeat,
-		UpdateProb:  0.1,
+	base := []experiment.Option{
+		experiment.WithSeed(99),
+		experiment.WithHorizonDays(2),
+		experiment.WithGranularity(core.HybridCaching),
+		experiment.WithPolicy("ewma-0.5"),
+		experiment.WithQueryKind(workload.Associative),
+		experiment.WithHeat(experiment.SkewedHeat),
+		experiment.WithUpdateProb(0.1),
+	}
+	run := func(extra ...experiment.Option) experiment.Result {
+		sc, err := experiment.New(append(append([]experiment.Option{}, base...), extra...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sc.Run()
 	}
 
 	fmt.Println("== arrival patterns: steady Poisson vs commuter bursts ==")
@@ -40,19 +48,15 @@ func main() {
 	for _, a := range []experiment.ArrivalKind{
 		experiment.PoissonArrival, experiment.BurstyArrival,
 	} {
-		cfg := base
-		cfg.Arrival = a
-		res := experiment.Run(cfg)
+		res := run(experiment.WithArrival(a))
 		fmt.Printf("%-8s  %8.1f  %10.3f  %14.1f  %9.3fs\n",
-			cfg.ArrivalName(), 100*res.HitRatio, res.MeanResponse,
+			res.Config.ArrivalName(), 100*res.HitRatio, res.MeanResponse,
 			100*res.DownlinkUtilization, res.DownlinkMeanWait)
 	}
 	fmt.Println("\nsame average load — but the bursts queue up behind the downlink.")
 
 	fmt.Println("\n== response time by hour of day (Bursty) ==")
-	cfg := base
-	cfg.Arrival = experiment.BurstyArrival
-	res := experiment.Run(cfg)
+	res := run(experiment.WithArrival(experiment.BurstyArrival))
 	for h := 0; h < 24; h += 3 {
 		for hh := h; hh < h+3; hh++ {
 			marker := "  "
@@ -69,11 +73,10 @@ func main() {
 	fmt.Println("\n== commuter disconnections (Bursty arrivals, 4 of 10 offline) ==")
 	fmt.Printf("%-10s  %8s  %8s  %12s\n", "outage (h)", "hit %", "err %", "unavailable")
 	for _, hours := range []float64{0, 2, 5, 8} {
-		cfg := base
-		cfg.Arrival = experiment.BurstyArrival
-		cfg.DisconnectedClients = 4
-		cfg.DisconnectHours = hours
-		res := experiment.Run(cfg)
+		res := run(
+			experiment.WithArrival(experiment.BurstyArrival),
+			experiment.WithDisconnection(4, hours),
+		)
 		fmt.Printf("%-10g  %8.1f  %8.2f  %12d\n",
 			hours, 100*res.HitRatio, 100*res.ErrorRate, res.Unavailable)
 	}

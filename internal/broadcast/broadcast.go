@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 )
 
@@ -111,6 +112,22 @@ func (p *Program) NextDelivery(it oodb.Item, now float64) float64 {
 // request (half a revolution plus one slot) — used for capacity planning
 // and sanity tests.
 func (p *Program) MeanWait() float64 { return p.cycle/2 + p.slotDur }
+
+// Register wires the air channel's program shape into an observability
+// registry under the given series prefix: items per revolution, cycle
+// period (the natural lease), slot size, and expected tune-in wait. The
+// values are static for a flat disk, so the series double as manifest
+// facts; consumption counters (reads answered from the air) live with the
+// clients that tune in. No-op when reg is disabled.
+func (p *Program) Register(reg *obs.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge(prefix+".items", func() float64 { return float64(p.Len()) })
+	reg.Gauge(prefix+".cycle_s", p.Cycle)
+	reg.Gauge(prefix+".slot_bytes", func() float64 { return float64(p.SlotBytes()) })
+	reg.Gauge(prefix+".mean_wait_s", p.MeanWait)
+}
 
 // HotAttrItems is a helper for assembling programs: the cross product of
 // the given objects with the first nAttrs primitive attributes (the

@@ -139,6 +139,20 @@ type Config struct {
 	RetryMax          int     // retransmissions per request (default client.DefaultMaxRetries; <0 disables)
 	RetryBackoff      float64 // base backoff seconds (default client.DefaultBackoffBase)
 	RetryTimeoutSlack float64 // timeout multiplier (default client.DefaultTimeoutSlack)
+
+	// Fleet scale-out (fleet.go). Cells > 1 shards the run across that many
+	// cells: each cell owns a range partition of the database (via
+	// internal/federation), its own wireless channel pair, and a slice of
+	// the client fleet; cross-cell reads travel a fixed backbone. Cells <= 1
+	// is the paper's single-cell system, byte-identical to Run.
+	Cells int
+	// RelayObjects > 0 gives every contact server a lease-respecting relay
+	// cache of that many remote objects (federation.Config.RelayCacheObjects).
+	RelayObjects int
+	// Backbone link parameters; zero selects the federation defaults
+	// (10 Mbps, 5 ms).
+	BackboneBandwidthBps float64
+	BackboneLatency      float64
 }
 
 // FaultConfig assembles the network-layer fault model parameters. The root
@@ -273,6 +287,19 @@ type Result struct {
 	Server server.Stats
 
 	PerClient []PerClient
+
+	// Events counts the simulation events executed (summed across all cell
+	// kernels in a fleet run) — the numerator of wall-clock throughput.
+	Events uint64
+
+	// Fleet measurements (zero on single-cell runs): cumulative backbone
+	// traffic between server nodes and the contact servers' relay-cache
+	// effectiveness, summed across cells.
+	BackboneBytes    uint64
+	BackboneMessages uint64
+	RelayHits        uint64
+	RelayMisses      uint64
+	RelayedReads     uint64
 }
 
 // PerClient is a per-client measurement snapshot.
@@ -332,66 +359,19 @@ func Run(cfg Config) Result {
 			network.WirelessBandwidthBps, 0)
 	}
 
-	clientMetrics := make([]*metrics.Client, cfg.NumClients)
-	clients := make([]*client.Client, cfg.NumClients)
-	for i := 0; i < cfg.NumClients; i++ {
-		heat := buildHeat(cfg, i)
-		gen := workload.NewQueryGen(workload.QueryGenConfig{
-			Kind:          cfg.QueryKind,
-			Heat:          heat,
-			DB:            db,
-			Selectivity:   cfg.Selectivity,
-			AttrsPerObj:   cfg.AttrsPerObj,
-			AttrSkewTheta: cfg.AttrSkewTheta,
-		})
-		var arrival workload.Arrival
-		switch cfg.Arrival {
-		case PoissonArrival:
-			arrival = workload.NewPoisson(cfg.PoissonRate)
-		case BurstyArrival:
-			arrival = workload.NewDefaultBursty()
-		default:
-			panic(fmt.Sprintf("experiment: unknown arrival kind %d", cfg.Arrival))
-		}
-		m := &metrics.Client{Warmup: cfg.WarmupDays * workload.SecondsPerDay}
-		clientMetrics[i] = m
-
-		var pol replacement.Policy
-		if cfg.Granularity != core.NoCache {
-			pol = policyFactory()
-		}
-		cl := client.New(client.Config{
-			ID:               i,
-			Kernel:           k,
-			Server:           srv,
-			Up:               up,
-			Down:             down,
-			Granularity:      cfg.Granularity,
-			Policy:           pol,
-			StorageBytes:     cfg.StorageObjects * core.ItemCost(oodb.ObjectItem(0)),
-			MemBufferObjects: cfg.MemBufferObjects,
-			Gen:              gen,
-			Arrival:          arrival,
-			Schedule:         schedules[i],
-			Metrics:          m,
-			Seed:             rng.Derive(cfg.Seed, 0xc0+uint64(i)).Uint64(),
-			Horizon:          cfg.Horizon(),
-			ShedThreshold:    cfg.ShedThreshold,
-			Coherence:        cfg.Coherence,
-			FixedLease:       cfg.FixedLease,
-			Tracer:           cfg.Tracer,
-			Broadcast:        program,
-			UpFaults:         upFaults,
-			DownFaults:       downFaults,
-			Retry: client.RetryConfig{
-				MaxRetries:   cfg.RetryMax,
-				BackoffBase:  cfg.RetryBackoff,
-				TimeoutSlack: cfg.RetryTimeoutSlack,
-			},
-		})
-		clients[i] = cl
-		cl.Start()
-	}
+	clients, clientMetrics := buildClients(clientEnv{
+		kernel:     k,
+		cfg:        cfg,
+		db:         db,
+		backend:    srv,
+		up:         up,
+		down:       down,
+		upFaults:   upFaults,
+		downFaults: downFaults,
+		schedules:  schedules,
+		program:    program,
+		policy:     policyFactory,
+	}, 0, cfg.NumClients)
 
 	if cfg.Coherence == coherence.InvalidationReportStrategy {
 		startBroadcaster(k, cfg, srv, down, clients, schedules)
@@ -401,7 +381,7 @@ func Run(cfg Config) Result {
 	// attach its virtual-time sampler before the first event fires, so all
 	// series start at t = 0.
 	if cfg.Obs.Enabled() {
-		registerObservables(cfg, srv, up, down, upFaults, downFaults, clients, clientMetrics)
+		registerObservables(cfg, srv, up, down, upFaults, downFaults, program, clients, clientMetrics)
 		cfg.Obs.Attach(k, cfg.Horizon())
 	}
 
@@ -438,6 +418,7 @@ func Run(cfg Config) Result {
 	upStats, downStats := upFaults.Stats(), downFaults.Stats()
 	return Result{
 		Config:              cfg,
+		Events:              k.Steps(),
 		HitRatio:            agg.HitRatio(),
 		MeanResponse:        agg.MeanResponse(),
 		ErrorRate:           agg.ErrorRate(),
@@ -463,6 +444,93 @@ func Run(cfg Config) Result {
 		Server:              srv.Stats(),
 		PerClient:           perClient,
 	}
+}
+
+// clientEnv bundles the substrate one group of clients attaches to: the
+// kernel, the backend serving their queries (a single server in Run, a
+// federation contact server in a fleet cell), the cell's channel pair and
+// fault models, and the run-wide schedules, broadcast program, and policy
+// factory.
+type clientEnv struct {
+	kernel     *sim.Kernel
+	cfg        Config
+	db         *oodb.Database
+	backend    client.Backend
+	up, down   *network.Channel
+	upFaults   *network.FaultModel
+	downFaults *network.FaultModel
+	schedules  []*network.Schedule
+	program    *broadcast.Program
+	policy     func() replacement.Policy
+}
+
+// buildClients constructs and starts the mobile clients with global IDs in
+// [lo, hi). Clients keep their fleet-global ID in every RNG derivation and
+// schedule lookup, so a client's private streams do not depend on how the
+// fleet is sliced into cells.
+func buildClients(env clientEnv, lo, hi int) ([]*client.Client, []*metrics.Client) {
+	cfg := env.cfg
+	clients := make([]*client.Client, 0, hi-lo)
+	clientMetrics := make([]*metrics.Client, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		heat := buildHeat(cfg, i)
+		gen := workload.NewQueryGen(workload.QueryGenConfig{
+			Kind:          cfg.QueryKind,
+			Heat:          heat,
+			DB:            env.db,
+			Selectivity:   cfg.Selectivity,
+			AttrsPerObj:   cfg.AttrsPerObj,
+			AttrSkewTheta: cfg.AttrSkewTheta,
+		})
+		var arrival workload.Arrival
+		switch cfg.Arrival {
+		case PoissonArrival:
+			arrival = workload.NewPoisson(cfg.PoissonRate)
+		case BurstyArrival:
+			arrival = workload.NewDefaultBursty()
+		default:
+			panic(fmt.Sprintf("experiment: unknown arrival kind %d", cfg.Arrival))
+		}
+		m := &metrics.Client{Warmup: cfg.WarmupDays * workload.SecondsPerDay}
+		clientMetrics = append(clientMetrics, m)
+
+		var pol replacement.Policy
+		if cfg.Granularity != core.NoCache {
+			pol = env.policy()
+		}
+		cl := client.New(client.Config{
+			ID:               i,
+			Kernel:           env.kernel,
+			Server:           env.backend,
+			Up:               env.up,
+			Down:             env.down,
+			Granularity:      cfg.Granularity,
+			Policy:           pol,
+			StorageBytes:     cfg.StorageObjects * core.ItemCost(oodb.ObjectItem(0)),
+			MemBufferObjects: cfg.MemBufferObjects,
+			Gen:              gen,
+			Arrival:          arrival,
+			Schedule:         env.schedules[i],
+			Metrics:          m,
+			Seed:             rng.Derive(cfg.Seed, 0xc0+uint64(i)).Uint64(),
+			Horizon:          cfg.Horizon(),
+			ShedThreshold:    cfg.ShedThreshold,
+			Coherence:        cfg.Coherence,
+			FixedLease:       cfg.FixedLease,
+			Tracer:           cfg.Tracer,
+			Broadcast:        env.program,
+			UpFaults:         env.upFaults,
+			DownFaults:       env.downFaults,
+			Retry: client.RetryConfig{
+				MaxRetries:   cfg.RetryMax,
+				BackoffBase:  cfg.RetryBackoff,
+				TimeoutSlack: cfg.RetryTimeoutSlack,
+			},
+		})
+		clients = append(clients, cl)
+		cl.Start()
+	}
+	return clients, clientMetrics
 }
 
 // startBroadcaster spawns the invalidation-report broadcast process: every

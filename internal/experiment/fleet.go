@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/broadcast"
+	"repro/internal/client"
+	"repro/internal/coherence"
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunFleet executes one fleet-scale simulation: cfg.Cells cells, each
+// owning a range partition of the database (via internal/federation), its
+// own 19.2 Kbps uplink/downlink pair, and a contiguous slice of the client
+// fleet. Cells <= 1 is exactly the paper's single-cell system and
+// delegates to Run, byte for byte.
+//
+// Sharding model: every cell runs its own discrete-event kernel containing
+// a full federation.Cluster over an identically-derived database (same
+// RelSeed), with the cell's clients attached to their cell's contact
+// server. Reads that land on another cell's partition pay backbone latency
+// and bandwidth against that cell's local mirror of the remote node — the
+// mirrors share seeds, so partition contents, refresh estimators, and
+// update streams evolve identically everywhere while each cell's kernel
+// stays self-contained. That keeps cells embarrassingly parallel: they run
+// on the Runner worker pool and their outcomes merge in cell order, so
+// fleet results are byte-identical at any worker count.
+//
+// Determinism: clients keep their fleet-global IDs in every rng.Derive
+// call and disconnection schedules are built once for the whole fleet,
+// so a client's private streams do not depend on the cell layout; only
+// channel contention and partition placement do.
+//
+// The invalidation-report strategy broadcasts over a single cell-wide
+// downlink and is not defined for a partitioned fleet; RunFleet panics on
+// that combination (Scenario validation reports it as an error first).
+func RunFleet(cfg Config) Result {
+	if cfg.Cells <= 1 {
+		return Run(cfg)
+	}
+	cfg = Defaults(cfg)
+	if cfg.Coherence == coherence.InvalidationReportStrategy {
+		panic("experiment: invalidation reports are cell-wide broadcast; not supported with Cells > 1")
+	}
+	if cfg.NumClients < cfg.Cells {
+		panic(fmt.Sprintf("experiment: fleet of %d clients cannot populate %d cells",
+			cfg.NumClients, cfg.Cells))
+	}
+	if _, err := replacement.Parse(cfg.Policy); err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+
+	// Disconnection schedules span the whole fleet so a client's outage
+	// windows are independent of the cell layout.
+	schedules := workload.BuildSchedules(workload.DisconnectConfig{
+		NumClients:          cfg.NumClients,
+		DisconnectedClients: cfg.DisconnectedClients,
+		DurationHours:       cfg.DisconnectHours,
+		Days:                int(math.Ceil(cfg.Days)),
+		Seed:                cfg.Seed,
+	})
+
+	// A Tracer or an obs.Registry is shared mutable state; keep those runs
+	// serial (cell order) so records and samples stay deterministic.
+	workers := defaultWorkers
+	if cfg.Tracer != nil || cfg.Obs != nil {
+		workers = 1
+	}
+	outs := make([]cellOutcome, cfg.Cells)
+	Runner{Workers: workers}.ForEach(cfg.Cells, func(c int) {
+		outs[c] = runFleetCell(cfg, c, schedules)
+	})
+	return mergeFleet(cfg, outs)
+}
+
+// cellOutcome is the raw measurement state one cell hands back for the
+// deterministic cell-order merge.
+type cellOutcome struct {
+	clients []*client.Client
+	metrics []*metrics.Client
+
+	upUtil, downUtil float64
+	downWait         float64
+	downMsgs         uint64
+	upStats          network.FaultStats
+	downStats        network.FaultStats
+
+	server   server.Stats
+	diskSum  float64 // per-node disk utilizations, for the merged mean
+	diskN    int
+	events   uint64
+	bbBytes  uint64
+	bbMsgs   uint64
+	relayHit uint64
+	relayMis uint64
+	relayed  uint64
+}
+
+// runFleetCell builds and runs one cell's kernel: a full cluster mirror, the
+// cell's channel pair and fault models, and clients [lo, hi) of the fleet.
+func runFleetCell(cfg Config, cell int, schedules []*network.Schedule) cellOutcome {
+	lo, hi := cellBounds(cfg.NumClients, cfg.Cells, cell)
+	k := sim.NewKernel()
+	db := oodb.New(oodb.Config{
+		NumObjects: cfg.NumObjects,
+		RelSeed:    rng.Derive(cfg.Seed, 0xdb).Uint64(),
+	})
+	cluster := federation.New(federation.Config{
+		Kernel:     k,
+		DB:         db,
+		NumServers: cfg.Cells,
+		// The paper's 25%-of-database server buffer is split across the
+		// partitions, mirroring how ServerBufferObjects covers one server
+		// in Run.
+		BufferObjects:        max(1, cfg.ServerBufferObjects/cfg.Cells),
+		Beta:                 cfg.Beta,
+		UpdateProb:           cfg.UpdateProb,
+		PrefetchKappa:        cfg.PrefetchKappa,
+		Seed:                 cfg.Seed,
+		RelayCacheObjects:    cfg.RelayObjects,
+		BackboneBandwidthBps: cfg.BackboneBandwidthBps,
+		BackboneLatency:      cfg.BackboneLatency,
+	})
+	backend := cluster.Contact(cell)
+	up := network.NewChannel(k, "uplink", network.WirelessBandwidthBps)
+	down := network.NewChannel(k, "downlink", network.WirelessBandwidthBps)
+
+	// Each cell's radio environment draws from its own substream: bursts in
+	// one cell must not synchronize outages everywhere.
+	faultCfg := cfg.FaultConfig()
+	faultCfg.Seed = rng.Derive(cfg.Seed, 0xfa170000+uint64(cell)).Uint64()
+	upFaults := network.NewFaultModel(faultCfg, 1)
+	downFaults := network.NewFaultModel(faultCfg, 2)
+
+	policyFactory, err := replacement.Parse(cfg.Policy)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	var program *broadcast.Program
+	if cfg.BroadcastAttrs > 0 {
+		pool := workload.SharedPool(cfg.NumObjects, cfg.Seed, cfg.SharedHotObjects)
+		program = broadcast.New(
+			broadcast.HotAttrItems(pool, cfg.BroadcastAttrs),
+			network.WirelessBandwidthBps, 0)
+	}
+
+	clients, ms := buildClients(clientEnv{
+		kernel:     k,
+		cfg:        cfg,
+		db:         db,
+		backend:    backend,
+		up:         up,
+		down:       down,
+		upFaults:   upFaults,
+		downFaults: downFaults,
+		schedules:  schedules,
+		program:    program,
+		policy:     policyFactory,
+	}, lo, hi)
+
+	// Instrumented fleets sample cell 0 only: one registry cannot span
+	// kernels whose virtual clocks advance independently, so the report
+	// shows one representative cell plus its cluster-wide backbone view.
+	if cfg.Obs.Enabled() && cell == 0 {
+		cluster.Register(cfg.Obs, "backbone")
+		registerObservables(cfg, cluster.Node(cell), up, down,
+			upFaults, downFaults, program, clients, ms)
+		cfg.Obs.Attach(k, cfg.Horizon())
+	}
+
+	k.RunAll()
+	k.Drain()
+
+	out := cellOutcome{
+		clients:  clients,
+		metrics:  ms,
+		upUtil:   up.Utilization(),
+		downUtil: down.Utilization(),
+		downWait: down.MeanWait(),
+		downMsgs: down.Messages(),
+		events:   k.Steps(),
+	}
+	out.upStats, out.downStats = upFaults.Stats(), downFaults.Stats()
+	for i := 0; i < cluster.NumServers(); i++ {
+		st := cluster.Node(i).Stats()
+		out.server.QueriesServed += st.QueriesServed
+		out.server.DiskReads += st.DiskReads
+		out.server.BufferHits += st.BufferHits
+		out.server.UpdatesApplied += st.UpdatesApplied
+		out.diskSum += st.DiskUtilization
+		out.diskN++
+	}
+	out.bbBytes, out.bbMsgs = cluster.BackboneTraffic()
+	out.relayHit, out.relayMis, out.relayed = cluster.RelayTotals()
+	return out
+}
+
+// mergeFleet folds the per-cell outcomes, in cell order, into one Result
+// with exactly the aggregation semantics of Run: pooled client metrics,
+// message-weighted downlink wait, and counter sums with ratios recomputed
+// from the merged numerators and denominators.
+func mergeFleet(cfg Config, outs []cellOutcome) Result {
+	var agg metrics.Aggregate
+	var shed, drops, bcastReads uint64
+	var energy float64
+	perClient := make([]PerClient, 0, cfg.NumClients)
+	var upUtil, downUtil, waitSum float64
+	var downMsgs uint64
+	var srvStats server.Stats
+	var diskSum float64
+	var diskN int
+	res := Result{Config: cfg}
+	for _, out := range outs {
+		for i, m := range out.metrics {
+			agg.Merge(m)
+			cl := out.clients[i]
+			shed += cl.ShedItems()
+			drops += cl.CacheDrops()
+			bcastReads += cl.BroadcastReads()
+			energy += cl.RadioEnergy()
+			issued, _, _, _ := m.Queries()
+			perClient = append(perClient, PerClient{
+				HitRatio:     m.HitRatio(),
+				ErrorRate:    m.ErrorRate(),
+				MeanResponse: m.MeanResponse(),
+				Queries:      issued,
+			})
+		}
+		upUtil += out.upUtil
+		downUtil += out.downUtil
+		waitSum += out.downWait * float64(out.downMsgs)
+		downMsgs += out.downMsgs
+		srvStats.QueriesServed += out.server.QueriesServed
+		srvStats.DiskReads += out.server.DiskReads
+		srvStats.BufferHits += out.server.BufferHits
+		srvStats.UpdatesApplied += out.server.UpdatesApplied
+		diskSum += out.diskSum
+		diskN += out.diskN
+		res.Events += out.events
+		res.BackboneBytes += out.bbBytes
+		res.BackboneMessages += out.bbMsgs
+		res.RelayHits += out.relayHit
+		res.RelayMisses += out.relayMis
+		res.RelayedReads += out.relayed
+		res.FramesLost += out.upStats.Lost + out.downStats.Lost
+		res.FramesCorrupted += out.upStats.Corrupted + out.downStats.Corrupted
+	}
+	if probes := srvStats.BufferHits + srvStats.DiskReads; probes > 0 {
+		srvStats.BufferHitRatio = float64(srvStats.BufferHits) / float64(probes)
+	}
+	if diskN > 0 {
+		srvStats.DiskUtilization = diskSum / float64(diskN)
+	}
+
+	hourlyMean, hourlyCount := agg.HourlyResponse()
+	energyPerQuery := 0.0
+	if agg.Issued > 0 {
+		energyPerQuery = energy / float64(agg.Issued)
+	}
+	accessErr := 0.0
+	if agg.Hits.Denom > 0 {
+		accessErr = float64(agg.Errs.Num+agg.Unavail) / float64(agg.Hits.Denom)
+	}
+	cells := float64(len(outs))
+	res.HitRatio = agg.HitRatio()
+	res.MeanResponse = agg.MeanResponse()
+	res.ErrorRate = agg.ErrorRate()
+	res.QueriesIssued = agg.Issued
+	res.QueriesLocal = agg.Local
+	res.QueriesRemote = agg.Remote
+	res.Unavailable = agg.Unavail
+	res.UplinkUtilization = upUtil / cells
+	res.DownlinkUtilization = downUtil / cells
+	if downMsgs > 0 {
+		res.DownlinkMeanWait = waitSum / float64(downMsgs)
+	}
+	res.ItemsShed = shed
+	res.CacheDrops = drops
+	res.BroadcastReads = bcastReads
+	res.AccessErrorRate = accessErr
+	res.Retries = agg.Retries
+	res.Timeouts = agg.Timeouts
+	res.DegradedReads = agg.Degraded
+	res.HourlyResponse = hourlyMean
+	res.HourlyQueries = hourlyCount
+	res.RadioEnergyPerQuery = energyPerQuery
+	res.Server = srvStats
+	res.PerClient = perClient
+	return res
+}
+
+// cellBounds returns the half-open global-client-ID range [lo, hi) of one
+// cell: a balanced split, earlier cells taking the remainder.
+func cellBounds(clients, cells, cell int) (lo, hi int) {
+	return cell * clients / cells, (cell + 1) * clients / cells
+}

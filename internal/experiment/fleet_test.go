@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+// fleetCfg is the smallest config that exercises cross-cell relaying.
+func fleetCfg() Config {
+	cfg := smallCfg()
+	cfg.NumClients = 8
+	cfg.Cells = 4
+	return cfg
+}
+
+// TestFleetOneCellMatchesRun pins the shard-count invariance floor: a
+// 1-cell fleet is not merely similar to the single-server system, it IS
+// the single-server system, byte for byte.
+func TestFleetOneCellMatchesRun(t *testing.T) {
+	cfg := smallCfg()
+	want := Run(cfg)
+	cfg.Cells = 1
+	got := RunFleet(cfg)
+	want.Config, got.Config = Config{}, Config{}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("1-cell fleet diverged from Run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+func TestFleetRunShape(t *testing.T) {
+	res := RunFleet(fleetCfg())
+	if res.QueriesIssued == 0 || res.Events == 0 {
+		t.Fatalf("fleet produced no work: %+v", res)
+	}
+	if len(res.PerClient) != 8 {
+		t.Fatalf("per-client rows %d, want 8", len(res.PerClient))
+	}
+	if res.BackboneBytes == 0 || res.BackboneMessages == 0 {
+		t.Fatal("4 cells over a partitioned database must exchange backbone traffic")
+	}
+	if res.Server.QueriesServed == 0 || res.Server.BufferHitRatio < 0 ||
+		res.Server.BufferHitRatio > 1 {
+		t.Fatalf("merged server stats malformed: %+v", res.Server)
+	}
+}
+
+// TestFleetParallelInvariance is the tentpole determinism guarantee:
+// identical Results (and identical Exp8 tables) with 1 worker and with 8.
+func TestFleetParallelInvariance(t *testing.T) {
+	cfg := fleetCfg()
+	prev := SetDefaultWorkers(1)
+	defer SetDefaultWorkers(prev)
+	serial := RunFleet(cfg)
+
+	SetDefaultWorkers(8)
+	parallel := RunFleet(cfg)
+
+	serial.Config, parallel.Config = Config{}, Config{}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("fleet results differ between workers=1 and workers=8")
+	}
+
+	base := Config{Seed: 2, NumObjects: 400, Days: 0.02}
+	SetDefaultWorkers(1)
+	s := exp8(base, []int{4, 8}, []int{1, 2}, false)
+	SetDefaultWorkers(8)
+	p := exp8(base, []int{4, 8}, []int{1, 2}, false)
+	if s.String() != p.String() {
+		t.Fatalf("Exp8 tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := RunFleet(fleetCfg())
+	b := RunFleet(fleetCfg())
+	a.Config, b.Config = Config{}, Config{}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same fleet config produced different results")
+	}
+}
+
+// TestFleetRelayCacheCutsBackbone: enabling the contact servers' relay
+// cache must not change what the clients asked for, and it must strictly
+// reduce backbone traffic under repeated remote reads.
+func TestFleetRelayCacheCutsBackbone(t *testing.T) {
+	cfg := fleetCfg()
+	off := RunFleet(cfg)
+	cfg.RelayObjects = 100
+	on := RunFleet(cfg)
+	if on.RelayHits == 0 {
+		t.Fatal("relay cache saw no hits")
+	}
+	if on.BackboneBytes >= off.BackboneBytes {
+		t.Fatalf("relay cache did not cut backbone bytes: %d -> %d",
+			off.BackboneBytes, on.BackboneBytes)
+	}
+	if off.RelayHits != 0 || off.RelayMisses != 0 {
+		t.Fatalf("relay counters nonzero with relaying disabled: %+v", off)
+	}
+}
+
+func TestFleetValidationPanics(t *testing.T) {
+	mustPanic := func(name, fragment string, cfg Config) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, fragment) {
+					t.Fatalf("panic %v lacks %q", r, fragment)
+				}
+			}()
+			RunFleet(cfg)
+		})
+	}
+	ir := fleetCfg()
+	ir.Coherence = coherence.InvalidationReportStrategy
+	mustPanic("invalidation reports", "not supported", ir)
+
+	tiny := fleetCfg()
+	tiny.NumClients = 2
+	mustPanic("more cells than clients", "cannot populate", tiny)
+}

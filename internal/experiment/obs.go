@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/broadcast"
 	"repro/internal/client"
 	"repro/internal/metrics"
 	"repro/internal/network"
@@ -19,7 +20,7 @@ import (
 // does; sampled over virtual time they become the convergence curves
 // (hit-ratio warm-up, error-rate settling) a report plots.
 func registerObservables(cfg Config, srv *server.Server, up, down *network.Channel,
-	upFaults, downFaults *network.FaultModel,
+	upFaults, downFaults *network.FaultModel, program *broadcast.Program,
 	clients []*client.Client, ms []*metrics.Client) {
 
 	reg := cfg.Obs
@@ -27,6 +28,16 @@ func registerObservables(cfg Config, srv *server.Server, up, down *network.Chann
 	down.Register(reg, "downlink")
 	upFaults.Register(reg, "uplink.faults")
 	downFaults.Register(reg, "downlink.faults")
+	if program != nil {
+		program.Register(reg, "broadcast")
+		reg.Gauge("broadcast.air_reads", func() float64 {
+			var total float64
+			for _, cl := range clients {
+				total += float64(cl.BroadcastReads())
+			}
+			return total
+		})
+	}
 	srv.Register(reg)
 
 	pooled := func() metrics.Aggregate {

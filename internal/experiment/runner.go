@@ -27,9 +27,11 @@ func (r Runner) effectiveWorkers() int {
 }
 
 // RunBatch executes every config and returns the results in submission
-// order. A panic inside any run (e.g. an invalid policy spec) is re-raised
-// on the caller's goroutine, annotated with the config that caused it;
-// remaining in-flight runs finish first.
+// order. Fleet configs (Cells > 1) dispatch through RunFleet, so batches
+// and replications scale out the same way single runs do. A panic inside
+// any run (e.g. an invalid policy spec) is re-raised on the caller's
+// goroutine, annotated with the config that caused it; remaining in-flight
+// runs finish first.
 func (r Runner) RunBatch(cfgs []Config) []Result {
 	results := make([]Result, len(cfgs))
 	workers := r.effectiveWorkers()
@@ -46,20 +48,44 @@ func (r Runner) RunBatch(cfgs []Config) []Result {
 			break
 		}
 	}
+	r2 := Runner{Workers: workers}
+	r2.forEach(len(cfgs), func(i int) {
+		results[i] = RunFleet(cfgs[i])
+	}, func(i int) string {
+		return fmt.Sprintf("run %d (%s)", i, cfgs[i])
+	})
+	return results
+}
+
+// ForEach runs fn(0) .. fn(n-1) on the worker pool, returning once all
+// calls complete. It is the generic scatter primitive under RunBatch and
+// the fleet engine's per-cell kernels (RunFleet): fn must write its result
+// into a caller-owned slot so outputs can be merged in index order
+// regardless of execution order. A panic inside any fn is re-raised on the
+// caller's goroutine (lowest index first); remaining tasks finish first.
+func (r Runner) ForEach(n int, fn func(int)) {
+	r.forEach(n, fn, func(i int) string { return fmt.Sprintf("task %d", i) })
+}
+
+// forEach is ForEach with a caller-supplied panic annotation.
+func (r Runner) forEach(n int, fn func(int), describe func(int) string) {
+	workers := r.effectiveWorkers()
+	if workers > n {
+		workers = n
+	}
 	if workers <= 1 {
-		for i, cfg := range cfgs {
-			results[i] = Run(cfg)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return results
+		return
 	}
 
 	type failure struct {
 		idx int
-		cfg Config
 		err interface{}
 	}
 	jobs := make(chan int)
-	failures := make(chan failure, len(cfgs))
+	failures := make(chan failure, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -69,15 +95,15 @@ func (r Runner) RunBatch(cfgs []Config) []Result {
 				func() {
 					defer func() {
 						if rec := recover(); rec != nil {
-							failures <- failure{idx: i, cfg: cfgs[i], err: rec}
+							failures <- failure{idx: i, err: rec}
 						}
 					}()
-					results[i] = Run(cfgs[i])
+					fn(i)
 				}()
 			}
 		}()
 	}
-	for i := range cfgs {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
@@ -92,10 +118,8 @@ func (r Runner) RunBatch(cfgs []Config) []Result {
 		}
 	}
 	if first != nil {
-		panic(fmt.Sprintf("experiment: run %d (%s) panicked: %v",
-			first.idx, first.cfg, first.err))
+		panic(fmt.Sprintf("experiment: %s panicked: %v", describe(first.idx), first.err))
 	}
-	return results
 }
 
 // defaultWorkers is the pool size the Exp* sweeps and Replicate use; it is

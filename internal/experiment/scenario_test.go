@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	sc, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config()
+	if cfg.NumClients != 10 || cfg.Days != 4 || cfg.Policy != "ewma-0.5" ||
+		cfg.NumObjects != 2000 || cfg.StorageObjects != 400 {
+		t.Fatalf("scenario defaults diverge from Table 1: %+v", cfg)
+	}
+	if !math.IsNaN(cfg.PrefetchKappa) {
+		t.Fatal("unset PrefetchKappa must default to the NaN sentinel")
+	}
+}
+
+func TestScenarioOptionsApply(t *testing.T) {
+	sc, err := New(
+		WithLabel("opts"),
+		WithSeed(7),
+		WithFleet(100, 4),
+		WithObjects(800),
+		WithHorizonDays(0.5),
+		WithGranularity(core.AttributeCaching),
+		WithPolicy("lru-3"),
+		WithQueryKind(workload.Navigational),
+		WithHeat(ChangingSkewedHeat),
+		WithCSHChangeEvery(300),
+		WithArrival(BurstyArrival),
+		WithUpdateProb(0.3),
+		WithCoherence(coherence.FixedLeaseStrategy),
+		WithFixedLease(60),
+		WithLoss(0.1),
+		WithRetry(5, 2),
+		WithRelayCache(50),
+		WithBackbone(1e6, 0.01),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config()
+	if cfg.NumClients != 100 || cfg.Cells != 4 || cfg.NumObjects != 800 ||
+		cfg.Granularity != core.AttributeCaching || cfg.Policy != "lru-3" ||
+		cfg.QueryKind != workload.Navigational || cfg.Heat != ChangingSkewedHeat ||
+		cfg.CSHChangeEvery != 300 || cfg.Arrival != BurstyArrival ||
+		cfg.UpdateProb != 0.3 || cfg.Coherence != coherence.FixedLeaseStrategy ||
+		cfg.FixedLease != 60 || cfg.LossRate != 0.1 || cfg.RetryMax != 5 ||
+		cfg.RelayObjects != 50 || cfg.BackboneBandwidthBps != 1e6 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+}
+
+// TestScenarioValidationErrors pins the named-error contract: every
+// rejected option combination wraps exactly the sentinel a caller would
+// branch on with errors.Is.
+func TestScenarioValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want error
+	}{
+		{"negative horizon", []Option{WithHorizonDays(-1)}, ErrOutOfRange},
+		{"zero clients", []Option{WithClients(0)}, ErrOutOfRange},
+		{"probability above 1", []Option{WithUpdateProb(1.5)}, ErrOutOfRange},
+		{"loss above 1", []Option{WithLoss(2)}, ErrOutOfRange},
+		{"unknown granularity", []Option{WithGranularity(core.Granularity(99))}, ErrOutOfRange},
+		{"unknown heat", []Option{WithHeat(HeatKind(42))}, ErrOutOfRange},
+		{"unknown coherence", []Option{WithCoherence(coherence.Strategy(9))}, ErrOutOfRange},
+		{"bad policy spec", []Option{WithPolicy("no-such-policy")}, ErrBadSpec},
+		{"more cells than clients", []Option{WithFleet(4, 8)}, ErrConflict},
+		{"cells exceed default fleet", []Option{WithCells(64)}, ErrConflict},
+		{"clients contradict fleet", []Option{WithFleet(100, 4), WithClients(50)}, ErrConflict},
+		{"broadcast without shared pool", []Option{WithBroadcastAttrs(2)}, ErrConflict},
+		{"ir on a fleet", []Option{
+			WithFleet(100, 4), WithCoherence(coherence.InvalidationReportStrategy)}, ErrConflict},
+		{"disconnect more than fleet", []Option{WithDisconnection(20, 1)}, ErrConflict},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.opts...)
+			if err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("error %v does not wrap %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestScenarioRunMatchesConfigRun: the Scenario front door adds validation
+// and dispatch only — a single-cell scenario's Result is byte-identical to
+// the compatibility shim's.
+func TestScenarioRunMatchesConfigRun(t *testing.T) {
+	sc, err := New(
+		WithSeed(1),
+		WithObjects(400),
+		WithClients(4),
+		WithHorizonDays(0.05),
+		WithGranularity(core.HybridCaching),
+		WithUpdateProb(0.1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sc.Run()
+	want := Run(Config{
+		Seed: 1, NumObjects: 400, NumClients: 4, Days: 0.05,
+		Granularity: core.HybridCaching, UpdateProb: 0.1,
+	})
+	if !reflect.DeepEqual(stripConfig(got), stripConfig(want)) {
+		t.Fatalf("scenario run diverged from Run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+func TestScenarioWithConfigBridge(t *testing.T) {
+	base := Config{Seed: 3, NumClients: 8, Cells: 2, NumObjects: 400, Days: 0.05}
+	sc, err := New(WithConfig(base), WithUpdateProb(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config()
+	if cfg.Cells != 2 || cfg.UpdateProb != 0.2 {
+		t.Fatalf("bridge lost fields: %+v", cfg)
+	}
+	// The bridge still validates: a manifest asking for more cells than
+	// clients must be rejected, not run.
+	if _, err := New(WithConfig(Config{NumClients: 2, Cells: 4})); !errors.Is(err, ErrConflict) {
+		t.Fatalf("invalid bridged config accepted: %v", err)
+	}
+}

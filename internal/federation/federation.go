@@ -18,6 +18,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/replacement"
 	"repro/internal/server"
@@ -171,6 +172,81 @@ func (c *Cluster) Contact(i int) *ContactServer {
 func (c *Cluster) RelayStats(i int) (hits, misses, relayedReads uint64) {
 	n := c.nodes[i]
 	return n.relayHits, n.relayMisses, n.relayed
+}
+
+// BackboneTraffic sums the payload shipped over every inter-node backbone
+// link: total bytes and messages, both directions.
+func (c *Cluster) BackboneTraffic() (bytes, messages uint64) {
+	for _, n := range c.nodes {
+		for _, link := range n.links {
+			if link == nil {
+				continue
+			}
+			bytes += link.BytesSent()
+			messages += link.Messages()
+		}
+	}
+	return bytes, messages
+}
+
+// RelayTotals sums the relay-cache counters across every node: cell-local
+// hits, misses, and reads forwarded to remote owners.
+func (c *Cluster) RelayTotals() (hits, misses, relayedReads uint64) {
+	for _, n := range c.nodes {
+		hits += n.relayHits
+		misses += n.relayMisses
+		relayedReads += n.relayed
+	}
+	return hits, misses, relayedReads
+}
+
+// Register wires the cluster's backbone and relay caches into an
+// observability registry under the given series prefix: cumulative
+// backbone bytes/messages, the mean utilization across all inter-node
+// links, and the pooled relay-cache counters. No-op when reg is disabled;
+// the relay/backbone hot paths carry no instrument calls, so a
+// disabled-registry cluster is cost-free.
+func (c *Cluster) Register(reg *obs.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge(prefix+".bytes", func() float64 {
+		b, _ := c.BackboneTraffic()
+		return float64(b)
+	})
+	reg.Gauge(prefix+".messages", func() float64 {
+		_, m := c.BackboneTraffic()
+		return float64(m)
+	})
+	reg.Gauge(prefix+".utilization", func() float64 {
+		var sum float64
+		var links int
+		for _, n := range c.nodes {
+			for _, link := range n.links {
+				if link == nil {
+					continue
+				}
+				sum += link.Utilization()
+				links++
+			}
+		}
+		if links == 0 {
+			return 0
+		}
+		return sum / float64(links)
+	})
+	reg.Gauge(prefix+".relay_hits", func() float64 {
+		h, _, _ := c.RelayTotals()
+		return float64(h)
+	})
+	reg.Gauge(prefix+".relay_misses", func() float64 {
+		_, m, _ := c.RelayTotals()
+		return float64(m)
+	})
+	reg.Gauge(prefix+".relayed_reads", func() float64 {
+		_, _, r := c.RelayTotals()
+		return float64(r)
+	})
 }
 
 // ContactServer is the client-facing backend of one cell: it serves its

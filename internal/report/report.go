@@ -51,6 +51,11 @@ type Manifest struct {
 	Experiment string `json:"experiment"`
 	// Command reproduces the run from a clean checkout.
 	Command string `json:"command"`
+	// Quick records that an experiment sweep ran on the reduced -quick
+	// grids; a replay (mcsim run -config, mcsim report -verify) needs it to
+	// regenerate the same tables. Manifests from before this field default
+	// to false; replays fall back to scanning Command for "-quick".
+	Quick bool `json:"quick,omitempty"`
 	// Seed is the root RNG seed of the instrumented run.
 	Seed uint64 `json:"seed"`
 	// GitRevision is the source revision ("unknown" outside a checkout).
@@ -200,6 +205,15 @@ func Markdown(in Input) []byte {
 	fmt.Fprintf(&b, "| uplink / downlink utilization | %s / %s |\n",
 		fnum(r.UplinkUtilization), fnum(r.DownlinkUtilization))
 	fmt.Fprintf(&b, "| server buffer hit ratio | %s |\n", fnum(r.Server.BufferHitRatio))
+	if cfg.Cells > 1 {
+		fmt.Fprintf(&b, "| fleet | %d cells, %d clients |\n", cfg.Cells, cfg.NumClients)
+		fmt.Fprintf(&b, "| backbone traffic | %s MB in %d messages |\n",
+			fnum(float64(r.BackboneBytes)/1e6), r.BackboneMessages)
+		if probes := r.RelayHits + r.RelayMisses; probes > 0 {
+			fmt.Fprintf(&b, "| relay cache hit ratio | %s (%d relayed reads) |\n",
+				fnum(float64(r.RelayHits)/float64(probes)), r.RelayedReads)
+		}
+	}
 	if r.FramesLost+r.FramesCorrupted > 0 {
 		fmt.Fprintf(&b, "| frames lost / corrupted | %d / %d |\n", r.FramesLost, r.FramesCorrupted)
 		fmt.Fprintf(&b, "| retries / timeouts / degraded reads | %d / %d / %d |\n",

@@ -4,8 +4,13 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/broadcast"
 	"repro/internal/experiment"
+	"repro/internal/federation"
+	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/oodb"
+	"repro/internal/sim"
 )
 
 // obsDisabledHotPath performs every instrument operation the simulation's
@@ -51,6 +56,33 @@ func TestObsDisabledMatchesAbsent(t *testing.T) {
 	plain.Config, again.Config = experiment.Config{}, experiment.Config{}
 	if !reflect.DeepEqual(plain, again) {
 		t.Fatalf("nil-registry run diverged from plain run:\n%+v\nvs\n%+v", plain, again)
+	}
+}
+
+// TestObsDisabledRegistrationIsFree extends the guard to every subsystem
+// that exposes a Register hook — channels, the federation backbone, and
+// the broadcast program: registering against a disabled (nil) registry
+// must allocate nothing and register nothing.
+func TestObsDisabledRegistrationIsFree(t *testing.T) {
+	var reg *obs.Registry
+	k := sim.NewKernel()
+	ch := network.NewChannel(k, "guard", network.WirelessBandwidthBps)
+	cluster := federation.New(federation.Config{
+		Kernel:     k,
+		DB:         oodb.New(oodb.Config{NumObjects: 40, RelSeed: 1}),
+		NumServers: 2,
+	})
+	program := broadcast.New([]oodb.Item{oodb.ObjectItem(1)},
+		network.WirelessBandwidthBps, 0)
+	if allocs := testing.AllocsPerRun(100, func() {
+		ch.Register(reg, "guard")
+		cluster.Register(reg, "backbone")
+		program.Register(reg, "broadcast")
+	}); allocs != 0 {
+		t.Fatalf("disabled registration allocates %v allocs/op, want 0", allocs)
+	}
+	if names := reg.SeriesNames(); len(names) != 0 {
+		t.Fatalf("nil registry accumulated series: %v", names)
 	}
 }
 

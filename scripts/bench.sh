@@ -10,18 +10,24 @@
 #   model   the replacement-policy hot path: ns/access, ns/victim and the
 #           full eviction cycle for every indexed policy against its
 #           retained scanCore reference twin       -> BENCH_model.json
+#   fleet   the multi-cell fleet engine: wall-clock and Mevents/s of a
+#           100-client run at 1/2/4/8 cells plus the relay-cache point
+#           (cells scale across the worker pool)   -> BENCH_fleet.json
 #
 # Environment knobs:
 #   BENCH_TIME        go -benchtime for the kernel benches   (default 200x)
 #   BENCH_MODEL_TIME  go -benchtime for the model benches    (default 20000x)
+#   BENCH_FLEET_TIME  go -benchtime for the fleet benches    (default 1x)
 #   BENCH_COUNT       go -count repetitions                  (default 1)
 #   SKIP_SWEEP        non-empty skips the (slow) full-sweep benchmark
 #   SKIP_MODEL        non-empty skips the model suite
+#   SKIP_FLEET        non-empty skips the fleet suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-200x}"
 BENCH_MODEL_TIME="${BENCH_MODEL_TIME:-20000x}"
+BENCH_FLEET_TIME="${BENCH_FLEET_TIME:-1x}"
 BENCH_COUNT="${BENCH_COUNT:-1}"
 
 # emit_json RAW OUT — distill `go test -bench` output into a JSON summary.
@@ -78,4 +84,10 @@ if [ -z "${SKIP_MODEL:-}" ]; then
         ./internal/replacement | tee "$raw"
     cat "$sweep" >> "$raw"
     emit_json "$raw" BENCH_model.json
+fi
+
+if [ -z "${SKIP_FLEET:-}" ]; then
+    go test -run '^$' -bench '^BenchmarkFleet$' -benchmem \
+        -benchtime "$BENCH_FLEET_TIME" -count "$BENCH_COUNT" . | tee "$raw"
+    emit_json "$raw" BENCH_fleet.json
 fi

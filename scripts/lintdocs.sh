@@ -35,11 +35,12 @@ while IFS= read -r dir; do
     fi
 done < <(go list -f '{{.Dir}}' ./...)
 
-# Exported-identifier gate for the observability layer: internal/obs and
-# internal/report are the registry/report API surface other tools build on,
-# so every exported top-level declaration must carry a doc comment directly
-# above it (same rule go doc applies).
-for dir in internal/obs internal/report; do
+# Exported-identifier gate for the public API surfaces: internal/obs and
+# internal/report (the registry/report API other tools build on) and
+# internal/experiment (the Scenario/option constructor and the fleet
+# engine, the repo's front door). Every exported top-level declaration must
+# carry a doc comment directly above it (same rule go doc applies).
+for dir in internal/obs internal/report internal/experiment; do
     for f in "$dir"/*.go; do
         [ -e "$f" ] || continue
         case "$f" in *_test.go) continue ;; esac
