@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lintdocs verify bench clean
+.PHONY: build vet test race lintdocs verify bench benchguard clean
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel runner, the kernel handoff discipline, and the federation
-# backbone (exercised concurrently by fleet cells) are the places
-# concurrency lives; keep them race-clean.
+# The parallel runner, the kernel handoff discipline, the client's two
+# execution engines, and the federation backbone (exercised concurrently by
+# fleet cells) are the places concurrency lives; keep them race-clean.
 race:
-	$(GO) test -race ./internal/experiment ./internal/sim ./internal/federation
+	$(GO) test -race ./internal/experiment ./internal/sim ./internal/client ./internal/federation
 
 # Docs gate: every package must carry a package comment.
 lintdocs:
@@ -31,6 +31,12 @@ verify: build vet test race lintdocs
 # and BENCH_COUNT.
 bench:
 	scripts/bench.sh
+
+# Regression gate: re-run the KernelHoldLoop-class per-event benchmarks and
+# fail if any runs >2x slower than its entry in the committed
+# BENCH_kernel.json (REGRESSION_FACTOR overrides the threshold).
+benchguard:
+	scripts/benchguard.sh
 
 clean:
 	rm -f BENCH_kernel.json BENCH_model.json BENCH_fleet.json

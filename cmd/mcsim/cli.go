@@ -21,6 +21,7 @@ type simOpts struct {
 	seed    uint64
 	clients int
 	objects int
+	engine  string
 
 	granularity string
 	policy      string
@@ -58,6 +59,7 @@ func (o *simOpts) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&o.seed, "seed", 1, "root random seed")
 	fs.IntVar(&o.clients, "clients", 0, "number of mobile clients (0 = default)")
 	fs.IntVar(&o.objects, "objects", 0, "database objects (0 = default 2000)")
+	fs.StringVar(&o.engine, "engine", "", "execution engine: procs|sm (default procs; identical results)")
 
 	fs.StringVar(&o.granularity, "granularity", "hc", "caching granularity: nc|ac|oc|hc")
 	fs.StringVar(&o.policy, "policy", "ewma-0.5", "replacement policy spec")
@@ -95,6 +97,14 @@ func (o *simOpts) config() (experiment.Config, error) {
 		o.change, o.update, o.beta, o.disconnect, o.hours, o.days, o.seed, o.clients, o.objects)
 	if err != nil {
 		return cfg, err
+	}
+	if o.engine != "" {
+		switch experiment.Engine(o.engine) {
+		case experiment.EngineProcs, experiment.EngineSM:
+			cfg.Engine = experiment.Engine(o.engine)
+		default:
+			return cfg, fmt.Errorf("unknown engine %q (want procs|sm)", o.engine)
+		}
 	}
 	cfg.ShedThreshold = o.shed
 	cfg.FixedLease = o.fixedLease
@@ -276,7 +286,8 @@ func explicitSimFlags(fs *flag.FlagSet) []string {
 // cmdExp implements `mcsim exp <id>`: regenerate experiment tables.
 func cmdExp(args []string) {
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..8, table1, or all"))
+		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..9, table1, or all; experiments:\n%s",
+			strings.TrimRight(expCatalogList(), "\n")))
 	}
 	which := args[0]
 	fs := flag.NewFlagSet("mcsim exp", flag.ExitOnError)

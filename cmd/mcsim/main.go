@@ -4,7 +4,7 @@
 // The command surface is three subcommands:
 //
 //	mcsim run [flags]        one configuration (single cell or a fleet)
-//	mcsim exp <id> [flags]   experiment tables: 1..8, table1, or all
+//	mcsim exp <id> [flags]   experiment tables: 1..9, table1, or all
 //	mcsim report <dir>       summarize a report directory; -verify replays it
 //
 // Regenerate a figure (the experiment numbers match §5 of the paper):
@@ -17,6 +17,7 @@
 //	mcsim exp 6           # Figure 8: disconnection (D x V)
 //	mcsim exp 7           # beyond the paper: unreliable channels
 //	mcsim exp 8           # beyond the paper: fleet scaling (clients x cells)
+//	mcsim exp 9           # beyond the paper: million-client fleets (SM engine)
 //	mcsim exp table1      # Table 1: parameter settings
 //	mcsim exp all         # everything
 //
@@ -91,14 +92,19 @@ func main() {
 	legacyMain()
 }
 
-// usage prints the subcommand synopsis (per-subcommand flags: mcsim run -h).
+// usage prints the subcommand synopsis (per-subcommand flags: mcsim run -h)
+// followed by the experiment catalog, so every help path — usage, exp -h,
+// and an unknown id — teaches the same valid set.
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mcsim run [flags]          run one configuration (mcsim run -h for flags)
-  mcsim exp <id> [flags]     regenerate experiments: 1..8, table1, or all
+  mcsim exp <id> [flags]     regenerate experiments: 1..9, table1, or all
   mcsim report <dir> [-verify]  summarize (and optionally replay) a report
   mcsim -run|-exp ...        legacy flag surface, kept for existing scripts
+
+experiments:
 `)
+	fmt.Fprint(os.Stderr, expCatalogList())
 }
 
 // legacyMain is the pre-subcommand flag surface (-run / -exp as booleans on
@@ -113,7 +119,7 @@ func legacyMain() {
 	}
 	var o simOpts
 	o.register(fs)
-	expFlag := fs.String("exp", "", "experiment to regenerate: 1..8, table1, or all")
+	expFlag := fs.String("exp", "", "experiment to regenerate: 1..9, table1, or all")
 	quick := fs.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
 	runOne := fs.Bool("run", false, "run a single custom configuration")
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
@@ -291,19 +297,26 @@ var expCatalog = []struct{ key, summary string }{
 	{"6", "Figure 8: disconnected operation (D x V)"},
 	{"7", "beyond the paper: unreliable channels (loss x burst x coherence)"},
 	{"8", "beyond the paper: fleet scaling (clients x cells x relay cache)"},
+	{"9", "beyond the paper: million-client fleets on the state-machine engine"},
 	{"table1", "Table 1: parameter settings"},
 	{"all", "every experiment above"},
+}
+
+// expCatalogList renders the catalog one experiment per line, the shared
+// body of usage(), exp -h, and the unknown-experiment error.
+func expCatalogList() string {
+	var b strings.Builder
+	for _, e := range expCatalog {
+		fmt.Fprintf(&b, "  %-6s  %s\n", e.key, e.summary)
+	}
+	return b.String()
 }
 
 // unknownExperiment builds the error for an unrecognized experiment id: the
 // valid range plus one line per experiment.
 func unknownExperiment(which string) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "unknown experiment %q (want 1..8, table1, all); valid experiments:", which)
-	for _, e := range expCatalog {
-		fmt.Fprintf(&b, "\n  %-6s  %s", e.key, e.summary)
-	}
-	return fmt.Errorf("%s", b.String())
+	return fmt.Errorf("unknown experiment %q (want 1..9, table1, all); valid experiments:\n%s",
+		which, strings.TrimRight(expCatalogList(), "\n"))
 }
 
 // expJob is one named table-producing sweep inside an exp invocation.
@@ -361,6 +374,13 @@ func expJobs(which string, base experiment.Config, quick bool) ([]expJob, error)
 			add("Experiment #8 (fleet scaling)", func() fmt.Stringer { return experiment.Exp8(base) })
 		}
 	}
+	if want("9") {
+		if quick {
+			add("Experiment #9 (million-client fleets, quick grid)", func() fmt.Stringer { return experiment.Exp9Quick(base) })
+		} else {
+			add("Experiment #9 (million-client fleets)", func() fmt.Stringer { return experiment.Exp9(base) })
+		}
+	}
 	if len(jobs) == 0 {
 		return nil, unknownExperiment(which)
 	}
@@ -407,12 +427,12 @@ func runExperiments(which string, base experiment.Config, quick bool, reportDir 
 
 // runExperimentsRep is runExperiments returning the first table-producing
 // report, which manifest replays hash-check against the archived digests.
-// Quick mode shortens an unset horizon to one day — except for Experiment
-// #8, whose fleet grid carries its own shorter default.
+// Quick mode shortens an unset horizon to one day — except for Experiments
+// #8 and #9, whose fleet grids carry their own shorter defaults.
 func runExperimentsRep(which string, base experiment.Config, quick bool,
 	reportDir string) (*experiment.Report, error) {
 
-	if quick && base.Days == 0 && which != "8" {
+	if quick && base.Days == 0 && which != "8" && which != "9" {
 		base.Days = 1
 	}
 	jobs, err := expJobs(which, base, quick)

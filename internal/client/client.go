@@ -603,14 +603,14 @@ func (c *Client) fetchRemote(p *sim.Proc, q *workload.Query, need []workload.Rea
 		return replyBytes
 	})
 
-	c.installReply(p, need, items)
+	c.installReply(p.Now(), need, items)
 	return reqBytes, replyBytes
 }
 
 // installReply caches a delivered reply's items and records the served
-// reads. Shared by the perfect-channel and reliability-layer round trips.
-func (c *Client) installReply(p *sim.Proc, need []workload.ReadOp, items []server.ReplyItem) {
-	now := p.Now()
+// reads. Shared by the perfect-channel and reliability-layer round trips on
+// both execution engines (hence the plain timestamp instead of a process).
+func (c *Client) installReply(now float64, need []workload.ReadOp, items []server.ReplyItem) {
 	batch := c.scratchBatch[:0]
 	for _, item := range items {
 		entry := core.Entry{

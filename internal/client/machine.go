@@ -1,0 +1,407 @@
+package client
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is the state-machine face of the client: clientMachine is
+// run/processQuery/fetchRemote/fetchRemoteFaulty/receiveBroadcast
+// re-expressed as one resumable event callback scheduled directly on the
+// kernel's event heap — no goroutine, no channel rendezvous, and no
+// allocation on the resume path. Every wait point (arrival, local-access
+// hold, uplink, server staging, downlink, retry timeout and backoff,
+// broadcast slots) performs the same schedule calls in the same order as
+// the Proc path, and every counter, cache, and RNG mutation happens at the
+// same point in the event order, so a simulation is byte-identical
+// whichever engine runs the client population.
+
+// machineBackend is the backend contract the state-machine engine needs on
+// top of Backend: a resumable counterpart of Process. Both *server.Server
+// and *federation.ContactServer satisfy it.
+type machineBackend interface {
+	Backend
+	NewCall() server.RequestCall
+}
+
+// clientMachine phases. Each wait point records the phase to re-enter; the
+// Step loop advances inline through phases that did not actually wait.
+const (
+	cmArrive       uint8 = iota // draw next arrival; wait for it
+	cmQuery                     // generate the query; probe the local caches
+	cmLocalDone                 // local holds paid; split air/pull/remote
+	cmUpSend                    // perfect channel: uplink transfer
+	cmSrv                       // perfect channel: server staging
+	cmDown                      // perfect channel: downlink transfer
+	cmFaultAttempt              // reliability layer: arm one attempt
+	cmFaultUp                   // reliability layer: uplink transfer
+	cmFaultSrv                  // reliability layer: server staging
+	cmFaultDown                 // reliability layer: downlink transfer
+	cmFaultTimeout              // attempt failed; wait out the timeout
+	cmFaultExpired              // timeout fired; give up or back off
+	cmAir                       // sort broadcast items by next delivery
+	cmAirWait                   // wait for the current item's slot
+	cmAirRecv                   // receive and cache the current item
+	cmDone                      // finish the query record; loop to cmArrive
+)
+
+// clientMachine is one mobile host on the state-machine engine. All state
+// that must survive a wait lives here; the struct is allocated once per
+// client at StartMachine and never again.
+type clientMachine struct {
+	c    *Client
+	pc   uint8
+	call server.RequestCall
+	send network.SendState
+
+	// Shed closures are bound once so SendDeferredStep never allocates.
+	shedPlainFn  func(float64) int
+	shedFaultyFn func(float64) int
+
+	scheduled float64
+	connected bool
+	existent  int
+	remote    bool
+	rec       trace.QueryRecord
+	need      []workload.ReadOp
+	fromAir   []oodb.Item
+	airIdx    int
+
+	req        server.Request
+	reqBytes   int
+	items      []server.ReplyItem
+	replyBytes int
+
+	attempt   int
+	retries   int
+	deadline  float64
+	delivered int
+}
+
+// StartMachine spawns the client on the state-machine engine. The backend
+// must implement NewCall (machineBackend); both the single server and the
+// federation contact server do.
+func (c *Client) StartMachine() *sim.Machine {
+	mb, ok := c.srv.(machineBackend)
+	if !ok {
+		panic("client: backend does not support the state-machine engine")
+	}
+	cm := &clientMachine{c: c, call: mb.NewCall()}
+	cm.shedPlainFn = cm.shedPlain
+	cm.shedFaultyFn = cm.shedFaulty
+	return c.kernel.SpawnMachine(c.name(), cm)
+}
+
+// shedPlain is fetchRemote's deferred-size hook: shed prefetched items past
+// the threshold, account the receive energy, record the reply size.
+func (cm *clientMachine) shedPlain(waited float64) int {
+	c := cm.c
+	if c.shedThreshold > 0 && waited > c.shedThreshold {
+		kept := c.scratchKept[:0]
+		for _, it := range cm.items {
+			if !it.Prefetched {
+				kept = append(kept, it)
+			}
+		}
+		c.shedItems += uint64(len(cm.items) - len(kept))
+		c.scratchKept = kept
+		cm.items = kept
+	}
+	cm.replyBytes = server.WireSizeItems(cm.items)
+	c.energyJoules += network.RxEnergy(cm.replyBytes)
+	return cm.replyBytes
+}
+
+// shedFaulty is fetchRemoteFaulty's hook: same shedding, but the energy is
+// charged by the caller according to the frame's fate.
+func (cm *clientMachine) shedFaulty(waited float64) int {
+	c := cm.c
+	if c.shedThreshold > 0 && waited > c.shedThreshold {
+		kept := c.scratchKept[:0]
+		for _, it := range cm.items {
+			if !it.Prefetched {
+				kept = append(kept, it)
+			}
+		}
+		c.shedItems += uint64(len(cm.items) - len(kept))
+		c.scratchKept = kept
+		cm.items = kept
+	}
+	cm.delivered = server.WireSizeItems(cm.items)
+	return cm.delivered
+}
+
+// Step advances the client; see the Proc twins in client.go and retry.go
+// for the flow this mirrors statement for statement.
+func (cm *clientMachine) Step(m *sim.Machine) {
+	c := cm.c
+	for {
+		switch cm.pc {
+		case cmArrive:
+			cm.scheduled = c.arrival.Next(c.rnd, cm.scheduled)
+			if cm.scheduled >= c.horizon {
+				m.Finish()
+				return
+			}
+			cm.pc = cmQuery
+			if m.Now() < cm.scheduled && m.HoldUntil(cm.scheduled) {
+				return
+			}
+
+		case cmQuery:
+			c.gen.NextInto(c.rnd, &c.scratchQuery)
+			q := &c.scratchQuery
+			cm.connected = c.sched.Connected(m.Now())
+			need := c.scratchNeed[:0]
+			cm.existent = 0
+			cm.rec = trace.QueryRecord{
+				ClientID:     c.id,
+				Index:        q.Index,
+				IssuedAt:     cm.scheduled,
+				Reads:        len(q.Reads),
+				Disconnected: !cm.connected,
+			}
+			localDelay := 0.0
+			for _, rd := range q.Reads {
+				item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
+				entry, state, delay := c.probeLocal(m.Now(), item)
+				localDelay += delay
+				now := m.Now()
+				switch {
+				case state == core.Hit:
+					isErr := c.oracle.IsError(item, entry.Version)
+					c.m.RecordAccess(now, true)
+					c.m.RecordError(now, isErr)
+					cm.existent++
+					cm.rec.Hits++
+					if isErr {
+						cm.rec.Errors++
+					}
+				case state == core.Stale && !cm.connected:
+					isErr := c.oracle.IsError(item, entry.Version)
+					c.m.RecordAccess(now, false)
+					c.m.RecordError(now, isErr)
+					cm.rec.Stale++
+					if isErr {
+						cm.rec.Errors++
+					}
+				case !cm.connected:
+					c.m.RecordAccess(now, false)
+					c.m.RecordUnavailable(now)
+					cm.rec.Unavailable++
+				default:
+					need = append(need, rd)
+				}
+			}
+			cm.need = need
+			cm.pc = cmLocalDone
+			if localDelay > 0 {
+				m.Hold(localDelay)
+				return
+			}
+
+		case cmLocalDone:
+			fromAir := c.scratchAir[:0]
+			if c.bcast != nil && cm.connected {
+				pull := cm.need[:0] // in-place filter: pull lags the read cursor
+				for _, rd := range cm.need {
+					item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
+					if c.bcast.Covers(item) {
+						if !containsItem(fromAir, item) {
+							fromAir = append(fromAir, item)
+						}
+						c.bcastReads++
+						c.m.RecordAccess(m.Now(), false)
+						c.m.RecordError(m.Now(), false)
+						continue
+					}
+					pull = append(pull, rd)
+				}
+				cm.need = pull
+			}
+			cm.fromAir = fromAir
+			cm.remote = cm.connected && len(cm.need) > 0
+			if !cm.remote {
+				cm.pc = cmAir
+				continue
+			}
+			cm.req = server.Request{
+				ClientID:        c.id,
+				Granularity:     c.granularity,
+				Accesses:        c.scratchQuery.Reads,
+				Need:            cm.need,
+				ExistentEntries: cm.existent,
+			}
+			cm.reqBytes = cm.req.WireSize()
+			cm.rec.RequestBytes = cm.reqBytes
+			if c.faulted() {
+				cm.attempt = 0
+				cm.retries = 0
+				cm.pc = cmFaultAttempt
+				continue
+			}
+			cm.pc = cmUpSend
+
+		case cmUpSend:
+			if !c.up.SendStep(m, &cm.send, cm.reqBytes) {
+				return
+			}
+			c.energyJoules += network.TxEnergy(cm.reqBytes)
+			cm.call.Begin(cm.req)
+			cm.pc = cmSrv
+
+		case cmSrv:
+			rep, done := cm.call.Step(m)
+			if !done {
+				return
+			}
+			cm.items = rep.Items
+			cm.pc = cmDown
+
+		case cmDown:
+			if !c.down.SendDeferredStep(m, &cm.send, cm.shedPlainFn) {
+				return
+			}
+			c.installReply(m.Now(), cm.need, cm.items)
+			cm.rec.ReplyBytes = cm.replyBytes
+			cm.pc = cmAir
+
+		case cmFaultAttempt:
+			cm.deadline = m.Now() + c.requestTimeout(cm.reqBytes)
+			cm.pc = cmFaultUp
+
+		case cmFaultUp:
+			if !c.up.SendStep(m, &cm.send, cm.reqBytes) {
+				return
+			}
+			c.energyJoules += network.TxEnergy(cm.reqBytes)
+			if transmit(c.upFaults, m.Now()) == network.FrameDelivered {
+				cm.call.Begin(cm.req)
+				cm.pc = cmFaultSrv
+				continue
+			}
+			cm.pc = cmFaultTimeout
+
+		case cmFaultSrv:
+			rep, done := cm.call.Step(m)
+			if !done {
+				return
+			}
+			cm.items = rep.Items
+			cm.delivered = 0
+			cm.pc = cmFaultDown
+
+		case cmFaultDown:
+			if !c.down.SendDeferredStep(m, &cm.send, cm.shedFaultyFn) {
+				return
+			}
+			switch transmit(c.downFaults, m.Now()) {
+			case network.FrameDelivered:
+				c.energyJoules += network.RxEnergy(cm.delivered)
+				c.replyEstimate = cm.delivered
+				c.installReply(m.Now(), cm.need, cm.items)
+				cm.rec.ReplyBytes = cm.delivered
+				cm.rec.Retries = cm.retries
+				cm.pc = cmAir
+				continue
+			case network.FrameCorrupted:
+				// The frame arrived and was received in full before the CRC
+				// check rejected it: the radio energy is spent.
+				c.energyJoules += network.RxEnergy(cm.delivered)
+			}
+			// FrameLost: nothing arrived, nothing received.
+			cm.pc = cmFaultTimeout
+
+		case cmFaultTimeout:
+			cm.pc = cmFaultExpired
+			if m.Now() < cm.deadline && m.HoldUntil(cm.deadline) {
+				return
+			}
+
+		case cmFaultExpired:
+			c.timeouts++
+			c.m.RecordTimeout(m.Now())
+			if cm.attempt >= c.retry.MaxRetries {
+				cm.rec.ReplyBytes = 0
+				cm.rec.Retries = cm.retries
+				cm.rec.TimedOut = true
+				c.serveDegraded(m.Now(), cm.need, &cm.rec)
+				cm.pc = cmAir
+				continue
+			}
+			cm.retries++
+			c.m.RecordRetry(m.Now())
+			backoff := c.retry.BackoffBase * math.Pow(2, float64(cm.attempt))
+			if backoff > c.retry.BackoffMax {
+				backoff = c.retry.BackoffMax
+			}
+			cm.attempt++
+			cm.pc = cmFaultAttempt
+			// Jitter in [0.5, 1.5)× the nominal delay decorrelates the
+			// retransmissions of clients that lost frames in the same burst.
+			m.Hold(backoff * (0.5 + c.retryRnd.Float64()))
+			return
+
+		case cmAir:
+			if len(cm.fromAir) == 0 {
+				cm.pc = cmDone
+				continue
+			}
+			sort.Slice(cm.fromAir, func(i, j int) bool {
+				return c.bcast.NextDelivery(cm.fromAir[i], m.Now()) <
+					c.bcast.NextDelivery(cm.fromAir[j], m.Now())
+			})
+			cm.airIdx = 0
+			cm.pc = cmAirWait
+
+		case cmAirWait:
+			if cm.airIdx >= len(cm.fromAir) {
+				cm.pc = cmDone
+				continue
+			}
+			cm.pc = cmAirRecv
+			if m.HoldUntil(c.bcast.NextDelivery(cm.fromAir[cm.airIdx], m.Now())) {
+				return
+			}
+
+		case cmAirRecv:
+			item := cm.fromAir[cm.airIdx]
+			c.energyJoules += network.RxEnergy(c.bcast.SlotBytes())
+			entry := core.Entry{
+				Version:   c.oracle.CurrentVersion(item),
+				ExpiresAt: m.Now() + c.bcast.Cycle(),
+				FetchedAt: m.Now(),
+			}
+			if c.coherenceMode == coherence.InvalidationReportStrategy {
+				entry.ExpiresAt = coherence.NoExpiry
+			}
+			if c.store != nil {
+				c.store.Insert(item, entry, m.Now())
+			}
+			c.membuf.Put(item, entry)
+			cm.airIdx++
+			cm.pc = cmAirWait
+
+		case cmDone:
+			// Hand the (possibly grown) scratch backing arrays back for reuse.
+			c.scratchNeed = cm.need[:0]
+			c.scratchAir = cm.fromAir[:0]
+			cm.rec.Remote = cm.remote || len(cm.fromAir) > 0
+			cm.rec.CompletedAt = m.Now()
+			c.m.RecordQuery(cm.scheduled, m.Now(), cm.remote, !cm.connected)
+			if c.tracer != nil {
+				c.tracer.Query(cm.rec)
+			}
+			cm.pc = cmArrive
+		}
+	}
+}

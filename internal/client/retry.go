@@ -138,7 +138,7 @@ func (c *Client) fetchRemoteFaulty(p *sim.Proc, q *workload.Query, need []worklo
 			case network.FrameDelivered:
 				c.energyJoules += network.RxEnergy(delivered)
 				c.replyEstimate = delivered
-				c.installReply(p, need, items)
+				c.installReply(p.Now(), need, items)
 				return reqBytes, delivered, retries, true
 			case network.FrameCorrupted:
 				// The frame arrived and was received in full before the CRC

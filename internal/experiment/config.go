@@ -45,11 +45,34 @@ const (
 	BurstyArrival
 )
 
+// Engine selects the execution engine for the client population. Both
+// engines produce byte-identical results (enforced by the differential
+// tests in engine_test.go); they differ only in mechanics and cost: procs
+// suspend a goroutine per client at every wait, the state-machine engine
+// re-enters a callback from the event heap with no goroutine, no channel
+// rendezvous, and no per-resume allocation — the difference between
+// thousands and millions of feasible clients.
+type Engine string
+
+const (
+	// EngineProcs runs each client as a goroutine-backed sim.Proc — the
+	// original engine and the default.
+	EngineProcs Engine = "procs"
+	// EngineSM runs each client as an inline state machine (sim.Machine)
+	// scheduled directly on the kernel's event heap.
+	EngineSM Engine = "sm"
+)
+
 // Config fully describes one simulation run. The zero value is completed by
 // Defaults to the paper's Table 1 settings.
 type Config struct {
 	Label string
 	Seed  uint64
+
+	// Engine selects how clients execute: EngineProcs (default) or
+	// EngineSM. Genuinely concurrent actors — server disk queues, channels,
+	// the invalidation broadcaster, fault models — are engine-independent.
+	Engine Engine
 
 	// Population and horizon.
 	NumObjects int
@@ -170,6 +193,9 @@ func (c Config) FaultConfig() network.FaultConfig {
 
 // Defaults returns cfg with every unset field filled from Table 1.
 func Defaults(cfg Config) Config {
+	if cfg.Engine == "" {
+		cfg.Engine = EngineProcs
+	}
 	if cfg.NumObjects == 0 {
 		cfg.NumObjects = oodb.DefaultNumObjects
 	}
@@ -528,7 +554,14 @@ func buildClients(env clientEnv, lo, hi int) ([]*client.Client, []*metrics.Clien
 			},
 		})
 		clients = append(clients, cl)
-		cl.Start()
+		switch cfg.Engine {
+		case EngineSM:
+			cl.StartMachine()
+		case EngineProcs, "":
+			cl.Start()
+		default:
+			panic(fmt.Sprintf("experiment: unknown engine %q", cfg.Engine))
+		}
 	}
 	return clients, clientMetrics
 }

@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// These tests are the correctness gate for the state-machine execution
+// engine: the same seeded scenario is driven through both engines and must
+// produce deep-equal Results — metrics, per-client snapshots, server stats
+// (which embed every oracle-checked error count), channel utilizations,
+// and the kernel's event count — plus a byte-identical query trace CSV.
+// The pattern mirrors the replacement package's reference-twin
+// differential tests: the Proc engine is the retained reference, the
+// machine engine the optimized implementation under test.
+
+// runEngines executes cfg once per engine with a CSV tracer attached and
+// returns the two results (Config scrubbed for comparison) and traces.
+func runEngines(cfg Config) (procRes, smRes Result, procCSV, smCSV string) {
+	run := func(engine Engine) (Result, string) {
+		var buf bytes.Buffer
+		tr := trace.NewCSV(&buf)
+		c := cfg
+		c.Engine = engine
+		c.Tracer = tr
+		res := RunFleet(c)
+		tr.Flush()
+		res.Config = Config{}
+		return res, buf.String()
+	}
+	procRes, procCSV = run(EngineProcs)
+	smRes, smCSV = run(EngineSM)
+	return
+}
+
+func assertEngineTwin(t *testing.T, cfg Config) {
+	t.Helper()
+	procRes, smRes, procCSV, smCSV := runEngines(cfg)
+	if procCSV != smCSV {
+		t.Errorf("trace CSV differs between engines (proc %d bytes, sm %d bytes)",
+			len(procCSV), len(smCSV))
+		pl, sl := bytes.Split([]byte(procCSV), []byte("\n")), bytes.Split([]byte(smCSV), []byte("\n"))
+		for i := 0; i < len(pl) && i < len(sl); i++ {
+			if !bytes.Equal(pl[i], sl[i]) {
+				t.Fatalf("first divergence at trace line %d:\nproc: %s\nsm:   %s", i, pl[i], sl[i])
+			}
+		}
+		t.FailNow()
+	}
+	if !reflect.DeepEqual(procRes, smRes) {
+		t.Fatalf("results differ between engines:\nproc: %+v\nsm:   %+v", procRes, smRes)
+	}
+	if procRes.QueriesIssued == 0 {
+		t.Fatal("differential run issued no queries — the scenario is vacuous")
+	}
+}
+
+// TestEngineLockstep sweeps the feature matrix: every wait point the client
+// owns (local holds, uplink, server staging, downlink with shedding, retry
+// timeouts and backoff, broadcast slots, fleet backbone relays) appears in
+// at least one case.
+func TestEngineLockstep(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"defaults-oc", Config{
+			Seed: 1, Days: 0.05, NumClients: 8,
+			Granularity: core.ObjectCaching, UpdateProb: 0.2,
+		}},
+		{"nc-no-store", Config{
+			Seed: 2, Days: 0.05, NumClients: 6,
+			Granularity: core.NoCache, UpdateProb: 0.5,
+		}},
+		{"hc-prefetch-shed", Config{
+			Seed: 3, Days: 0.05, NumClients: 8,
+			Granularity: core.HybridCaching, UpdateProb: 0.2,
+			ShedThreshold: 0.5, Arrival: BurstyArrival,
+		}},
+		{"faults-retry", Config{
+			Seed: 4, Days: 0.05, NumClients: 8,
+			Granularity: core.AttributeCaching, UpdateProb: 0.2,
+			LossRate: 0.15, CorruptRate: 0.05,
+			BurstFraction: 0.1, MeanBadSeconds: 30,
+		}},
+		{"invalidation-reports", Config{
+			Seed: 5, Days: 0.05, NumClients: 6,
+			Granularity: core.ObjectCaching, UpdateProb: 0.5,
+			Coherence:           coherence.InvalidationReportStrategy,
+			DisconnectedClients: 2, DisconnectHours: 6,
+		}},
+		{"broadcast-air", Config{
+			Seed: 6, Days: 0.05, NumClients: 8,
+			Granularity: core.AttributeCaching, UpdateProb: 0.2,
+			SharedHotObjects: 100, SharedHotProb: 0.7, BroadcastAttrs: 4,
+		}},
+		{"fixed-lease-disconnect", Config{
+			Seed: 7, Days: 0.05, NumClients: 8,
+			Granularity: core.ObjectCaching, UpdateProb: 0.2,
+			Coherence:           coherence.FixedLeaseStrategy,
+			FixedLease:          120,
+			DisconnectedClients: 3, DisconnectHours: 8,
+		}},
+		{"fleet-relay", Config{
+			Seed: 8, Days: 0.05, NumClients: 12, Cells: 4,
+			Granularity: core.HybridCaching, UpdateProb: 0.2,
+			RelayObjects: 50,
+		}},
+		{"fleet-faults", Config{
+			Seed: 9, Days: 0.05, NumClients: 8, Cells: 2,
+			Granularity: core.ObjectCaching, UpdateProb: 0.2,
+			LossRate: 0.1,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			assertEngineTwin(t, tc.cfg)
+		})
+	}
+}
+
+// FuzzEngineLockstep lets the fuzzer pick the seed and scenario shape; any
+// divergence between the engines is a crash worth keeping.
+func FuzzEngineLockstep(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(0), false, false)
+	f.Add(uint64(42), uint8(3), uint8(1), true, false)
+	f.Add(uint64(7), uint8(1), uint8(2), false, true)
+	f.Fuzz(func(t *testing.T, seed uint64, gran, disrupt uint8, shed, fleet bool) {
+		cfg := Config{
+			Seed: seed, Days: 0.02, NumClients: 4,
+			Granularity: core.Granularity(gran % 4),
+			UpdateProb:  0.2,
+		}
+		if shed {
+			cfg.ShedThreshold = 0.5
+		}
+		switch disrupt % 3 {
+		case 1:
+			cfg.LossRate = 0.2
+			cfg.CorruptRate = 0.05
+		case 2:
+			cfg.DisconnectedClients = 2
+			cfg.DisconnectHours = 6
+		}
+		if fleet {
+			cfg.Cells = 2
+		}
+		assertEngineTwin(t, cfg)
+	})
+}

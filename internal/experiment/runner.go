@@ -18,10 +18,16 @@ type Runner struct {
 	Workers int
 }
 
-// effectiveWorkers resolves the worker count.
+// effectiveWorkers resolves the worker count. An explicit request is capped
+// at GOMAXPROCS: simulation runs are pure CPU with no blocking I/O, so
+// running more of them than there are schedulable CPUs only adds scheduler
+// churn and cache pressure — on a single-CPU host, -parallel 8 measured
+// ~20% slower than serial for identical output (docs/BENCH.md). Results do
+// not depend on the worker count either way.
 func (r Runner) effectiveWorkers() int {
-	if r.Workers < 1 {
-		return runtime.GOMAXPROCS(0)
+	maxProcs := runtime.GOMAXPROCS(0)
+	if r.Workers < 1 || r.Workers > maxProcs {
+		return maxProcs
 	}
 	return r.Workers
 }
@@ -75,7 +81,14 @@ func (r Runner) forEach(n int, fn func(int), describe func(int) string) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						panic(fmt.Sprintf("experiment: %s panicked: %v", describe(i), rec))
+					}
+				}()
+				fn(i)
+			}()
 		}
 		return
 	}

@@ -1,0 +1,230 @@
+package federation
+
+import (
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file is the state-machine face of the contact server: contactCall
+// is Process/processRemote re-expressed as a resumable invocation for
+// clients running on the sim.Machine engine. Every wait point — the home
+// and remote servers' staging (via server.Call), the backbone latency
+// holds, and the two backbone link transfers — performs the same schedule
+// calls in the same order as the Proc path, so a fleet simulation is
+// byte-identical whichever face serves the cell.
+
+// contactCall phases. The remote-partition loop (fcNext → fcLink →
+// fcRemote → fcBack → fcNext) visits owners in node order, exactly like
+// processRemote's caller.
+const (
+	fcStart  uint8 = iota // split the request; arm the home sub-call
+	fcSingle              // single-node cluster: stepping the home call
+	fcHome                // stepping the home-partition call
+	fcNext                // advance to the next remote partition
+	fcLink                // forward-link transfer to the owner
+	fcRemote              // stepping the remote owner's call
+	fcBack                // return-link transfer; fill relay; collect
+)
+
+// remotePart is one node's share of a split request (Process's local
+// `part`), kept as a field so its backing arrays persist across queries.
+type remotePart struct {
+	accesses []workload.ReadOp
+	need     []workload.ReadOp
+}
+
+// contactCall is the resumable form of (*ContactServer).Process. One call
+// is owned by one client and reused across its queries; the part/forward/
+// item buffers are recycled, which is safe because a client consumes each
+// reply before issuing its next request.
+type contactCall struct {
+	cs  *ContactServer
+	req server.Request
+	pc  uint8
+
+	call server.Call       // one server sub-call, re-bound per partition
+	send network.SendState // one backbone transfer at a time
+
+	parts   []remotePart
+	items   []server.ReplyItem // backing for the collected reply
+	out     server.Reply
+	o       int // current remote node in the fcNext loop
+	served  []server.ReplyItem
+	fwdBuf  []workload.ReadOp // relay-filtered forwards (never aliases parts)
+	forward []workload.ReadOp // what actually goes to the owner
+	rep     server.Reply      // remote owner's reply, pending the back link
+}
+
+// NewCall returns a reusable resumable call bound to this cell's contact
+// server; see server.RequestCall.
+func (cs *ContactServer) NewCall() server.RequestCall {
+	return &contactCall{cs: cs}
+}
+
+// Begin arms the call for one request; see server.RequestCall.
+func (cc *contactCall) Begin(req server.Request) {
+	cc.req = req
+	cc.pc = fcStart
+}
+
+// Step advances request processing; see server.RequestCall.Step.
+func (cc *contactCall) Step(m *sim.Machine) (server.Reply, bool) {
+	cs := cc.cs
+	c := cs.cluster
+	for {
+		switch cc.pc {
+		case fcStart:
+			if len(c.nodes) == 1 {
+				cc.call.Reset(cs.home.srv, cc.req)
+				cc.pc = fcSingle
+				continue
+			}
+			// Split the request by owning node.
+			if cap(cc.parts) < len(c.nodes) {
+				cc.parts = make([]remotePart, len(c.nodes))
+			}
+			cc.parts = cc.parts[:len(c.nodes)]
+			for i := range cc.parts {
+				cc.parts[i].accesses = cc.parts[i].accesses[:0]
+				cc.parts[i].need = cc.parts[i].need[:0]
+			}
+			for _, rd := range cc.req.Accesses {
+				o := c.Owner(rd.OID)
+				cc.parts[o].accesses = append(cc.parts[o].accesses, rd)
+			}
+			for _, rd := range cc.req.Need {
+				o := c.Owner(rd.OID)
+				cc.parts[o].need = append(cc.parts[o].need, rd)
+			}
+			cc.out = server.Reply{Items: cc.items[:0]}
+			cc.o = 0
+			// Home partition: evaluated exactly as the single-server system.
+			homeReq := cc.req
+			homeReq.Accesses = cc.parts[cs.home.id].accesses
+			homeReq.Need = cc.parts[cs.home.id].need
+			if len(homeReq.Accesses) > 0 || len(homeReq.Need) > 0 {
+				cc.call.Reset(cs.home.srv, homeReq)
+				cc.pc = fcHome
+				continue
+			}
+			cc.pc = fcNext
+
+		case fcSingle:
+			rep, done := cc.call.Step(m)
+			if !done {
+				return server.Reply{}, false
+			}
+			cc.pc = fcStart
+			return rep, true
+
+		case fcHome:
+			rep, done := cc.call.Step(m)
+			if !done {
+				return server.Reply{}, false
+			}
+			cc.out.Items = append(cc.out.Items, rep.Items...)
+			cc.pc = fcNext
+
+		case fcNext:
+			for cc.o < len(c.nodes) {
+				if cc.o == cs.home.id {
+					cc.o++
+					continue
+				}
+				pt := &cc.parts[cc.o]
+				if len(pt.accesses) == 0 && len(pt.need) == 0 {
+					cc.o++
+					continue
+				}
+				break
+			}
+			if cc.o >= len(c.nodes) {
+				cc.items = cc.out.Items
+				cc.pc = fcStart
+				return cc.out, true
+			}
+			// Relay cache scan for node cc.o — synchronous, before the
+			// backbone latency, mirroring processRemote's prologue.
+			home := cs.home
+			need := cc.parts[cc.o].need
+			now := m.Now()
+			cc.served = cc.served[:0]
+			forward := need
+			if home.relay != nil {
+				cc.fwdBuf = cc.fwdBuf[:0]
+				for _, rd := range need {
+					it := core.CoverItem(cc.req.Granularity, rd.OID, rd.Attr)
+					if e, st := home.relay.Lookup(it, now); st == core.Hit {
+						home.relayHits++
+						cc.served = append(cc.served, server.ReplyItem{
+							Item:    it,
+							Version: e.Version,
+							Refresh: e.ExpiresAt - now,
+						})
+						continue
+					}
+					home.relayMisses++
+					cc.fwdBuf = append(cc.fwdBuf, rd)
+				}
+				forward = cc.fwdBuf
+			}
+			cc.forward = forward
+			home.relayed += uint64(len(forward))
+			cc.pc = fcLink
+			m.Hold(c.latency)
+			return server.Reply{}, false
+
+		case fcLink:
+			link := cs.home.links[cc.o]
+			bytes := network.RequestSize(len(cc.parts[cc.o].accesses) - len(cc.forward))
+			if !link.SendStep(m, &cc.send, bytes) {
+				return server.Reply{}, false
+			}
+			remoteReq := cc.req
+			remoteReq.Accesses = cc.parts[cc.o].accesses
+			remoteReq.Need = cc.forward
+			cc.call.Reset(c.nodes[cc.o].srv, remoteReq)
+			cc.pc = fcRemote
+
+		case fcRemote:
+			rep, done := cc.call.Step(m)
+			if !done {
+				return server.Reply{}, false
+			}
+			cc.rep = rep
+			cc.pc = fcBack
+			m.Hold(c.latency)
+			return server.Reply{}, false
+
+		case fcBack:
+			back := c.nodes[cc.o].links[cs.home.id]
+			if !back.SendStep(m, &cc.send, cc.rep.WireSize()) {
+				return server.Reply{}, false
+			}
+			// Fill the relay cache with what came back (leases included).
+			home := cs.home
+			if home.relay != nil && len(cc.rep.Items) > 0 {
+				now := m.Now()
+				batch := make([]core.BatchEntry, 0, len(cc.rep.Items))
+				for _, item := range cc.rep.Items {
+					batch = append(batch, core.BatchEntry{
+						Item: item.Item,
+						Entry: core.Entry{
+							Version:   item.Version,
+							ExpiresAt: now + item.Refresh,
+							FetchedAt: now,
+						},
+					})
+				}
+				home.relay.InsertBatch(batch, now)
+			}
+			cc.out.Items = append(cc.out.Items, cc.served...)
+			cc.out.Items = append(cc.out.Items, cc.rep.Items...)
+			cc.o++
+			cc.pc = fcNext
+		}
+	}
+}

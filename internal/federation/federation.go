@@ -259,6 +259,7 @@ type ContactServer struct {
 var _ interface {
 	Process(p *sim.Proc, req server.Request) server.Reply
 	Oracle() *coherence.Oracle
+	NewCall() server.RequestCall
 } = (*ContactServer)(nil)
 
 // Oracle exposes the global perfect-knowledge oracle.

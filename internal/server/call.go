@@ -1,0 +1,130 @@
+package server
+
+import "repro/internal/sim"
+
+// This file is the state-machine face of the server: Call is Process
+// re-expressed as a resumable invocation for clients running on the
+// sim.Machine engine. Every wait point of Process — the per-object memory
+// hold and the disk acquire/hold/release of stageObject — performs the
+// same schedule calls in the same order, and every counter and scratch
+// mutation happens at the same point in the event order, so a simulation
+// is byte-identical whichever face serves the request.
+
+// RequestCall is a resumable request invocation for state-machine
+// clients. Begin arms the call with a request; Step advances it from the
+// machine's Step callback until it reports completion. A call is owned by
+// one client and reused across its requests (no per-query allocation
+// beyond what the Proc path itself performs). Both *Server (via NewCall)
+// and the federation contact server implement it.
+type RequestCall interface {
+	// Begin arms the call for one request. The previous request's reply
+	// must have been consumed.
+	Begin(req Request)
+	// Step advances the call inside machine m. It returns the reply and
+	// true when processing is complete; (zero, false) means the machine is
+	// waiting (memory hold, disk queue, backbone transfer) and must call
+	// Step again from its next wake.
+	Step(m *sim.Machine) (Reply, bool)
+}
+
+// Call is the resumable form of (*Server).Process. The zero value is not
+// usable; obtain one from NewCall (fixed server) or drive it with Reset
+// (per-partition reuse, as the federation does).
+type Call struct {
+	srv *Server
+	req Request
+	pc  uint8
+	idx int // cursor into sc.order during staging
+	sc  *reqScratch
+}
+
+// Call phases. The staging loop re-enters at the phase recorded before
+// each wait.
+const (
+	callStart    uint8 = iota // validate, count, collect distinct OIDs
+	callStage                 // stage sc.order[idx]
+	callMemDone               // memory hold finished → next object
+	callDiskHold              // disk granted → hold the read time
+	callDiskDone              // disk read finished → release, buffer, next
+)
+
+// NewCall returns a reusable resumable call bound to this server.
+func (s *Server) NewCall() RequestCall { return &Call{srv: s} }
+
+// Begin arms the call for one request against the bound server.
+func (c *Call) Begin(req Request) {
+	c.req = req
+	c.pc = callStart
+}
+
+// Reset re-binds the call to a (possibly different) server and arms it —
+// the federation's contact path serves home and remote partitions through
+// one Call, switching the target node between sub-requests.
+func (c *Call) Reset(s *Server, req Request) {
+	c.srv = s
+	c.req = req
+	c.pc = callStart
+}
+
+// Step advances request processing; see RequestCall.Step. The body mirrors
+// Process statement for statement: queriesServed/recordHeat/collectDistinct
+// up front, then stageObject per distinct OID (buffer hit → memory hold;
+// miss → disk acquire, hold, release, buffer insert), then applyUpdates
+// and assembleReply, which never wait.
+func (c *Call) Step(m *sim.Machine) (Reply, bool) {
+	s := c.srv
+	for {
+		switch c.pc {
+		case callStart:
+			if !c.req.Granularity.Valid() {
+				panic("server: request with invalid granularity")
+			}
+			s.queriesServed++
+			s.recordHeat(c.req)
+			sc := s.scratch[c.req.ClientID]
+			if sc == nil {
+				sc = &reqScratch{}
+				s.scratch[c.req.ClientID] = sc
+			}
+			sc.order = s.collectDistinct(c.req.Accesses, sc.order[:0])
+			c.sc = sc
+			c.idx = 0
+			c.pc = callStage
+
+		case callStage:
+			if c.idx >= len(c.sc.order) {
+				s.applyUpdates(m.Now(), c.req, c.sc.order)
+				rep := s.assembleReply(c.req, c.sc)
+				c.pc = callStart
+				return rep, true
+			}
+			oid := c.sc.order[c.idx]
+			if _, hit := s.buf.Get(oid); hit {
+				s.bufferHits++
+				c.pc = callMemDone
+				m.Hold(s.memSecPerObject)
+				return Reply{}, false
+			}
+			s.diskReads++
+			c.pc = callDiskHold
+			if !s.disk.AcquireCall(m) {
+				return Reply{}, false
+			}
+
+		case callDiskHold:
+			c.pc = callDiskDone
+			m.Hold(s.diskSecPerObject)
+			return Reply{}, false
+
+		case callDiskDone:
+			s.disk.Release()
+			s.buf.Put(c.sc.order[c.idx], struct{}{})
+			c.idx++
+			c.pc = callStage
+
+		case callMemDone:
+			c.idx++
+			c.pc = callStage
+		}
+	}
+}

@@ -257,7 +257,7 @@ func (s *Server) Process(p *sim.Proc, req Request) Reply {
 	// Update model (§4, sixth dimension): each object accessed by the
 	// query is updated with probability U; all attributes the query
 	// selected on that object are modified.
-	s.applyUpdates(p, req, sc.order)
+	s.applyUpdates(p.Now(), req, sc.order)
 
 	return s.assembleReply(req, sc)
 }
@@ -280,11 +280,10 @@ func (s *Server) stageObject(p *sim.Proc, oid oodb.OID) {
 // attribute dedup uses a uint16 bitmap (queries only read the <= 12
 // declared attributes) over a linear rescan of the read set, preserving
 // the first-occurrence write order of the original map-based grouping.
-func (s *Server) applyUpdates(p *sim.Proc, req Request, order []oodb.OID) {
+func (s *Server) applyUpdates(now float64, req Request, order []oodb.OID) {
 	if s.updateProb == 0 {
 		return
 	}
-	now := p.Now()
 	for _, oid := range order {
 		if !s.updateRnd.Bool(s.updateProb) {
 			continue

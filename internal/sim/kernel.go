@@ -34,11 +34,14 @@ import (
 	"sort"
 )
 
-// event is a future-event-list entry: either "resume proc" or "call fn".
+// event is a future-event-list entry: "resume proc", "step machine", or
+// "call fn".
 type event struct {
 	at   float64
 	seq  uint64 // schedule order; ties broken FIFO
 	proc *Proc
+	mach *Machine
+	gen  uint64 // machine wake generation; stale wakes are skipped
 	fn   func()
 }
 
@@ -59,8 +62,9 @@ type Kernel struct {
 	events  []event // binary min-heap on (at, seq)
 	yield   chan struct{}
 	live    map[*Proc]struct{}
+	liveM   map[*Machine]struct{}
 	nsteps  uint64
-	procSeq uint64 // spawn sequence; gives Drain a deterministic order
+	procSeq uint64 // spawn sequence (procs and machines); orders Drain
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty event list.
@@ -70,6 +74,7 @@ func NewKernel() *Kernel {
 		// flight, so yields never block the sender.
 		yield: make(chan struct{}, 1),
 		live:  make(map[*Proc]struct{}),
+		liveM: make(map[*Machine]struct{}),
 	}
 }
 
@@ -134,6 +139,18 @@ func (k *Kernel) schedule(at float64, p *Proc, fn func()) {
 	k.push(event{at: at, seq: k.seq, proc: p, fn: fn})
 }
 
+// scheduleMachine appends a machine wake to the future event list. It
+// shares the sequence counter with schedule, so proc resumes, machine
+// steps, and fn timers interleave in one global FIFO order at equal
+// times — the property the two execution engines' byte-identity rests on.
+func (k *Kernel) scheduleMachine(at float64, m *Machine) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (at=%g, now=%g)", at, k.now))
+	}
+	k.seq++
+	k.push(event{at: at, seq: k.seq, mach: m, gen: m.wakeGen})
+}
+
 // After schedules fn to run at now+d in kernel context. fn must not block;
 // it is intended for lightweight timers (statistics sampling, LRD aging).
 func (k *Kernel) After(d float64, fn func()) {
@@ -195,6 +212,15 @@ func (k *Kernel) Run(until float64) float64 {
 		switch {
 		case ev.fn != nil:
 			ev.fn()
+		case ev.mach != nil:
+			// Machine step: runs inline on this stack. Stale wakes
+			// (superseded by a newer Hold or revoked by CancelWake) and
+			// wakes of finished/killed machines are skipped.
+			m := ev.mach
+			if m.done || m.killed || ev.gen != m.wakeGen {
+				continue
+			}
+			m.body.Step(m)
 		case ev.proc != nil:
 			p := ev.proc
 			if p.done || p.killed {
@@ -215,19 +241,38 @@ func (k *Kernel) Run(until float64) float64 {
 // RunAll dispatches events until the event list is empty.
 func (k *Kernel) RunAll() float64 { return k.Run(math.Inf(1)) }
 
-// Drain terminates every live process. Suspended processes are woken with a
-// kill flag and unwind via a recovered panic; processes that have not yet
-// started are simply discarded. Processes are killed in spawn order, so the
-// side effects of kill-unwind (deferred cleanup, resource releases) are
-// reproducible run to run. Call it once per simulation after Run so no
-// goroutines outlive the run.
+// Drain terminates every live process and state machine. Suspended
+// processes are woken with a kill flag and unwind via a recovered panic;
+// processes that have not yet started are simply discarded. Machines are
+// killed in place — no unwind is needed because a suspended machine holds
+// no stack. Procs and machines are killed in one interleaved spawn order
+// (they share the spawn-sequence counter), so the side effects of
+// kill-unwind (deferred cleanup, resource releases) are reproducible run
+// to run regardless of engine mix. Call it once per simulation after Run
+// so no goroutines outlive the run.
 func (k *Kernel) Drain() {
-	procs := make([]*Proc, 0, len(k.live))
-	for p := range k.live {
-		procs = append(procs, p)
+	type victim struct {
+		seq  uint64
+		proc *Proc
+		mach *Machine
 	}
-	sort.Slice(procs, func(i, j int) bool { return procs[i].seq < procs[j].seq })
-	for _, p := range procs {
+	victims := make([]victim, 0, len(k.live)+len(k.liveM))
+	for p := range k.live {
+		victims = append(victims, victim{seq: p.seq, proc: p})
+	}
+	for m := range k.liveM {
+		victims = append(victims, victim{seq: m.seq, mach: m})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		if m := v.mach; m != nil {
+			if !m.done {
+				m.killed = true
+			}
+			delete(k.liveM, m)
+			continue
+		}
+		p := v.proc
 		if p.done {
 			delete(k.live, p)
 			continue
@@ -251,3 +296,7 @@ func (k *Kernel) Drain() {
 // LiveProcs reports the number of processes that have been spawned and have
 // not yet terminated.
 func (k *Kernel) LiveProcs() int { return len(k.live) }
+
+// LiveMachines reports the number of state machines that have been spawned
+// and have not yet finished.
+func (k *Kernel) LiveMachines() int { return len(k.liveM) }

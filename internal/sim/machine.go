@@ -1,0 +1,124 @@
+package sim
+
+// Machine is the goroutine-free counterpart of Proc: a simulated actor
+// expressed as a resumable state machine whose Step callback runs inline
+// in kernel context each time its wake event fires. Where resuming a Proc
+// costs a channel rendezvous and two goroutine switches, resuming a
+// Machine is a method call on the dispatch loop's own stack — no
+// goroutine, no channel, no per-resume allocation. That is what makes
+// million-client fleets tractable: a suspended Machine is a few dozen
+// bytes of state instead of a parked goroutine stack.
+//
+// The discipline mirrors Proc's exactly:
+//
+//   - at most one wake is pending per machine (Hold / HoldUntil /
+//     Resource grant all go through wake, and a newer wake supersedes any
+//     stale one via the generation counter);
+//   - Step must return promptly after arranging its next wake (or after
+//     Finish); it must never block;
+//   - machines share the kernel's spawn-sequence counter with procs, so
+//     Drain kills a mixed population in one deterministic spawn order.
+//
+// Determinism contract: a Machine performing the same schedule calls in
+// the same order as an equivalent Proc produces byte-identical
+// simulations — both engines push events through the same future event
+// list with the same tie-break sequence numbers. DESIGN.md § Execution
+// engines spells out the wait-point correspondence.
+type Machine struct {
+	kernel *Kernel
+	name   string
+	body   Stepper
+	seq    uint64 // spawn order, shared counter with Proc.seq
+	// wakeGen invalidates stale wake events: every wake bumps it and
+	// stamps the new event, so at most the latest wake fires. CancelWake
+	// bumps it without scheduling, revoking a pending timer outright.
+	wakeGen uint64
+	done    bool
+	killed  bool
+}
+
+// Stepper is a machine body. Step is invoked in kernel context at every
+// wake; it must advance the machine to its next wait point (arranging a
+// wake via Hold/HoldUntil/AcquireCall) or call m.Finish, then return.
+type Stepper interface {
+	Step(m *Machine)
+}
+
+// SpawnMachine creates a state machine whose first Step fires at the
+// current virtual time.
+func (k *Kernel) SpawnMachine(name string, body Stepper) *Machine {
+	return k.SpawnMachineAt(k.now, name, body)
+}
+
+// SpawnMachineAt creates a state machine whose first Step fires at
+// virtual time t (clamped to now). It is the Machine analogue of SpawnAt
+// and draws from the same spawn-sequence counter, so procs and machines
+// drain in one interleaved deterministic order.
+func (k *Kernel) SpawnMachineAt(t float64, name string, body Stepper) *Machine {
+	if body == nil {
+		panic("sim: SpawnMachineAt with nil body")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.procSeq++
+	m := &Machine{kernel: k, name: name, body: body, seq: k.procSeq}
+	k.liveM[m] = struct{}{}
+	m.wake(t)
+	return m
+}
+
+// wake schedules (or replaces) the machine's pending Step at time at.
+func (m *Machine) wake(at float64) {
+	m.wakeGen++
+	m.kernel.scheduleMachine(at, m)
+}
+
+// Name returns the machine name given at spawn time.
+func (m *Machine) Name() string { return m.name }
+
+// Kernel returns the owning kernel.
+func (m *Machine) Kernel() *Kernel { return m.kernel }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() float64 { return m.kernel.now }
+
+// Hold arranges the next Step at now+d (negative d is treated as zero,
+// matching Proc.Hold). The caller must return from Step afterwards.
+func (m *Machine) Hold(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	m.wake(m.kernel.now + d)
+}
+
+// HoldUntil arranges the next Step at absolute time t and reports whether
+// a wake was scheduled. A t at or before the current time returns false
+// and schedules nothing — the machine continues inline, exactly where
+// Proc.HoldUntil returns without yielding.
+func (m *Machine) HoldUntil(t float64) bool {
+	if t <= m.kernel.now {
+		return false
+	}
+	m.wake(t)
+	return true
+}
+
+// CancelWake revokes the machine's pending wake, if any: the already-
+// scheduled event stays on the future event list but is skipped at
+// dispatch. The machine is then woken only by a subsequent Hold/HoldUntil
+// or a resource grant — the callback-style timer cancellation primitive.
+func (m *Machine) CancelWake() { m.wakeGen++ }
+
+// Finish terminates the machine: no further Steps fire and Drain skips
+// it. The Machine analogue of a Proc body returning.
+func (m *Machine) Finish() {
+	if m.done {
+		return
+	}
+	m.done = true
+	delete(m.kernel.liveM, m)
+}
+
+// Done reports whether the machine has finished (or been killed).
+func (m *Machine) Done() bool { return m.done || m.killed }

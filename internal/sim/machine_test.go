@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// stepFunc adapts a closure to the Stepper interface for tests.
+type stepFunc func(m *Machine)
+
+func (f stepFunc) Step(m *Machine) { f(m) }
+
+// TestMachineHoldMirrorsProc drives the same hold pattern through a Proc
+// and a Machine and checks the dispatch traces (virtual times and step
+// counts) are identical — the core of the engines' byte-identity claim.
+func TestMachineHoldMirrorsProc(t *testing.T) {
+	run := func(spawn func(k *Kernel, log *[]float64)) ([]float64, uint64) {
+		k := NewKernel()
+		var log []float64
+		spawn(k, &log)
+		k.RunAll()
+		k.Drain()
+		return log, k.Steps()
+	}
+
+	procLog, procSteps := run(func(k *Kernel, log *[]float64) {
+		k.Spawn("p", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Hold(1.5)
+				*log = append(*log, p.Now())
+			}
+			p.HoldUntil(100)
+			*log = append(*log, p.Now())
+			p.HoldUntil(50) // in the past: no-op
+			*log = append(*log, p.Now())
+		})
+	})
+
+	machLog, machSteps := run(func(k *Kernel, log *[]float64) {
+		i := 0
+		k.SpawnMachine("m", stepFunc(func(m *Machine) {
+			for {
+				if i > 0 {
+					*log = append(*log, m.Now())
+				}
+				if i < 5 {
+					i++
+					m.Hold(1.5)
+					return
+				}
+				if i == 5 {
+					i++
+					if m.HoldUntil(100) {
+						return
+					}
+					continue
+				}
+				if i == 6 {
+					i++
+					if m.HoldUntil(50) { // in the past: continue inline
+						return
+					}
+					continue
+				}
+				m.Finish()
+				return
+			}
+		}))
+	})
+
+	if !reflect.DeepEqual(procLog, machLog) {
+		t.Fatalf("hold traces differ:\nproc: %v\nmach: %v", procLog, machLog)
+	}
+	if procSteps != machSteps {
+		t.Fatalf("step counts differ: proc %d, mach %d", procSteps, machSteps)
+	}
+}
+
+// TestMachineResourceFCFS queues procs and machines on one capacity-1
+// resource and checks grants come out in arrival order regardless of actor
+// kind, with the wait statistics a procs-only population would produce.
+func TestMachineResourceFCFS(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1)
+	var order []string
+
+	// Holder occupies the resource for [0, 10).
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Hold(10)
+		r.Release()
+		order = append(order, "holder")
+	})
+	// Arrivals at t=1 (proc), t=2 (machine), t=3 (proc), t=4 (machine).
+	k.SpawnAt(1, "p1", func(p *Proc) {
+		r.Acquire(p)
+		p.Hold(5)
+		r.Release()
+		order = append(order, "p1")
+	})
+	spawnMachineUser := func(at float64, name string) {
+		pc := 0
+		k.SpawnMachineAt(at, name, stepFunc(func(m *Machine) {
+			for {
+				switch pc {
+				case 0:
+					pc = 1
+					if !r.AcquireCall(m) {
+						return
+					}
+				case 1:
+					pc = 2
+					m.Hold(5)
+					return
+				case 2:
+					r.Release()
+					order = append(order, name)
+					m.Finish()
+					return
+				}
+			}
+		}))
+	}
+	spawnMachineUser(2, "m1")
+	k.SpawnAt(3, "p2", func(p *Proc) {
+		r.Acquire(p)
+		p.Hold(5)
+		r.Release()
+		order = append(order, "p2")
+	})
+	spawnMachineUser(4, "m2")
+
+	k.RunAll()
+	k.Drain()
+
+	want := []string{"holder", "p1", "m1", "p2", "m2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("completion order = %v, want %v", order, want)
+	}
+	// Waits: p1 9, m1 13, p2 17, m2 21 → mean over 5 acquires = 12.
+	if got, want := r.MeanWait(), 60.0/5; got != want {
+		t.Fatalf("MeanWait = %g, want %g", got, want)
+	}
+	if k.LiveMachines() != 0 {
+		t.Fatalf("LiveMachines = %d after Drain", k.LiveMachines())
+	}
+}
+
+// TestDrainKillsHalfResumedMachines leaves machines suspended at different
+// wait points (holding, queued on a resource, finished) and checks Drain
+// retires them in spawn order without stepping any of them again.
+func TestDrainKillsHalfResumedMachines(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1)
+	steps := map[string]int{}
+
+	// m0 holds the resource forever (suspended in an infinite hold).
+	hold0 := 0
+	k.SpawnMachine("m0", stepFunc(func(m *Machine) {
+		steps["m0"]++
+		if hold0 == 0 {
+			hold0 = 1
+			if !r.AcquireCall(m) {
+				return
+			}
+		}
+		m.Hold(1e9)
+	}))
+	// m1 queues behind it and never gets the grant.
+	k.SpawnMachine("m1", stepFunc(func(m *Machine) {
+		steps["m1"]++
+		if !r.AcquireCall(m) {
+			return
+		}
+		t.Error("m1 acquired a resource that is never released")
+	}))
+	// m2 finishes cleanly before the drain.
+	k.SpawnMachine("m2", stepFunc(func(m *Machine) {
+		steps["m2"]++
+		m.Finish()
+	}))
+	// p0 is a proc suspended in a hold, interleaved in the kill order.
+	k.Spawn("p0", func(p *Proc) {
+		for {
+			p.Hold(1e9)
+		}
+	})
+
+	k.Run(100)
+	if k.LiveMachines() != 2 { // m0 and m1; m2 finished
+		t.Fatalf("LiveMachines before Drain = %d, want 2", k.LiveMachines())
+	}
+	k.Drain()
+	if k.LiveMachines() != 0 || k.LiveProcs() != 0 {
+		t.Fatalf("after Drain: %d machines, %d procs live",
+			k.LiveMachines(), k.LiveProcs())
+	}
+	want := map[string]int{"m0": 1, "m1": 1, "m2": 1}
+	if !reflect.DeepEqual(steps, want) {
+		t.Fatalf("step counts = %v, want %v", steps, want)
+	}
+	// A drained kernel must be reusable and killed machines must not step.
+	k.RunAll()
+	if !reflect.DeepEqual(steps, want) {
+		t.Fatalf("killed machine stepped after Drain: %v", steps)
+	}
+}
+
+// TestMachineCancelWake checks a revoked timer never fires and a fresh
+// hold after cancellation does.
+func TestMachineCancelWake(t *testing.T) {
+	k := NewKernel()
+	var fired []float64
+	pc := 0
+	var mm *Machine
+	mm = k.SpawnMachine("m", stepFunc(func(m *Machine) {
+		fired = append(fired, m.Now())
+		switch pc {
+		case 0:
+			pc = 1
+			m.Hold(5) // will be revoked from kernel context at t=1
+		case 1:
+			m.Finish()
+		}
+	}))
+	k.After(1, func() {
+		mm.CancelWake()
+		mm.Hold(10) // replacement timer: fires at t=11
+	})
+	k.RunAll()
+	k.Drain()
+	want := []float64{0, 11}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("steps fired at %v, want %v", fired, want)
+	}
+}
+
+// TestMachineSpawnValidation covers the nil-body panic.
+func TestMachineSpawnValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpawnMachine(nil) did not panic")
+		}
+	}()
+	NewKernel().SpawnMachine("m", nil)
+}
+
+// holdLoop is an alloc-free machine body holding forever; used by the
+// benchmarks below.
+type holdLoop struct{}
+
+func (holdLoop) Step(m *Machine) { m.Hold(1) }
+
+// BenchmarkKernelStateMachineHoldLoop is the Machine counterpart of
+// BenchmarkKernelHoldLoop: one actor holding forever, measured per event.
+// The difference between the two numbers is the goroutine rendezvous the
+// state-machine engine eliminates.
+func BenchmarkKernelStateMachineHoldLoop(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	k.SpawnMachine("m", holdLoop{})
+	b.ResetTimer()
+	k.Run(float64(b.N))
+	b.StopTimer()
+	k.Drain()
+}
+
+// resourceLoop contends a capacity-1 resource, mirroring the proc bodies
+// of BenchmarkKernelResourceContention.
+type resourceLoop struct {
+	r  *Resource
+	pc int
+}
+
+func (l *resourceLoop) Step(m *Machine) {
+	for {
+		switch l.pc {
+		case 0:
+			l.pc = 1
+			if !l.r.AcquireCall(m) {
+				return
+			}
+		case 1:
+			l.pc = 2
+			m.Hold(1)
+			return
+		case 2:
+			l.r.Release()
+			l.pc = 0
+			m.Hold(1)
+			return
+		}
+	}
+}
+
+// BenchmarkKernelStateMachineResourceContention is the Machine counterpart
+// of BenchmarkKernelResourceContention: 10 actors contending FCFS for a
+// capacity-1 facility, measured per event.
+func BenchmarkKernelStateMachineResourceContention(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	r := NewResource(k, "chan", 1)
+	for i := 0; i < 10; i++ {
+		k.SpawnMachine("m", &resourceLoop{r: r})
+	}
+	b.ResetTimer()
+	k.Run(float64(b.N))
+	b.StopTimer()
+	k.Drain()
+}
+
+// BenchmarkKernelStateMachineManyMachines is the Machine counterpart of
+// BenchmarkKernelManyProcs: many short-lived actors, spawn/finish path.
+func BenchmarkKernelStateMachineManyMachines(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 64; j++ {
+			h := 0
+			k.SpawnMachineAt(float64(j%7), "m", stepFunc(func(m *Machine) {
+				if h++; h > 16 {
+					m.Finish()
+					return
+				}
+				m.Hold(1)
+			}))
+		}
+		k.RunAll()
+	}
+}
+
+// Example-style sanity check that a machine and proc population produce the
+// same MM1-style waiting pattern; keeps the two engines honest in -short
+// runs without the full experiment differential test.
+func TestMachineProcTwinResourceStats(t *testing.T) {
+	build := func(machines bool) (*Kernel, *Resource) {
+		k := NewKernel()
+		r := NewResource(k, "res", 1)
+		for i := 0; i < 7; i++ {
+			at := float64(i) * 0.3
+			if machines {
+				l := &resourceLoop{r: r}
+				k.SpawnMachineAt(at, fmt.Sprintf("m%d", i), l)
+			} else {
+				k.SpawnAt(at, fmt.Sprintf("p%d", i), func(p *Proc) {
+					for {
+						r.Use(p, 1)
+						p.Hold(1)
+					}
+				})
+			}
+		}
+		k.Run(200)
+		return k, r
+	}
+	kp, rp := build(false)
+	km, rm := build(true)
+	defer kp.Drain()
+	defer km.Drain()
+	if rp.Acquires() != rm.Acquires() {
+		t.Fatalf("acquires: proc %d, mach %d", rp.Acquires(), rm.Acquires())
+	}
+	if rp.MeanWait() != rm.MeanWait() {
+		t.Fatalf("mean wait: proc %g, mach %g", rp.MeanWait(), rm.MeanWait())
+	}
+	if rp.Utilization() != rm.Utilization() {
+		t.Fatalf("utilization: proc %g, mach %g", rp.Utilization(), rm.Utilization())
+	}
+	if kp.Steps() != km.Steps() {
+		t.Fatalf("steps: proc %d, mach %d", kp.Steps(), km.Steps())
+	}
+}

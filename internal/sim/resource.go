@@ -8,11 +8,13 @@ package sim
 //
 // A Resource also accumulates utilization and queueing statistics so
 // experiments can report channel utilization alongside the paper's metrics.
-// waiter is one queued process and the time it joined the queue (for wait
-// statistics). Keeping the timestamp inline avoids a map operation per
-// contended acquire on the hot path.
+// waiter is one queued actor — a process (Acquire) or a state machine
+// (AcquireCall) — and the time it joined the queue (for wait statistics).
+// Keeping the timestamp inline avoids a map operation per contended
+// acquire on the hot path.
 type waiter struct {
 	proc  *Proc
+	mach  *Machine
 	since float64
 }
 
@@ -68,6 +70,26 @@ func (r *Resource) Acquire(p *Proc) {
 	r.totalWaitTime += r.kernel.now - since
 }
 
+// AcquireCall is Acquire for state machines: acquire-with-continuation.
+// It reports whether the unit was granted immediately; false means the
+// machine was queued FCFS and its Step will fire (via the event list, at
+// the grant time) when Release hands it the slot. The caller's Step must
+// then resume past its acquire point.
+//
+// The statistics mutations mirror Acquire's exactly; wait time is accrued
+// at grant time, which happens at the same virtual instant the resumed
+// proc accrues it, so both engines integrate identical sequences.
+func (r *Resource) AcquireCall(m *Machine) bool {
+	r.accrue()
+	r.acquires++
+	if r.inUse < r.capacity {
+		r.inUse++
+		return true
+	}
+	r.waiters = append(r.waiters, waiter{mach: m, since: r.kernel.now})
+	return false
+}
+
 // Release frees one unit. If processes are queued the unit is handed to the
 // head of the queue (the slot never becomes observably free, preserving
 // FCFS).
@@ -82,7 +104,14 @@ func (r *Resource) Release() {
 		r.waiters[len(r.waiters)-1] = waiter{}
 		r.waiters = r.waiters[:len(r.waiters)-1]
 		// Hand the slot over; wake the waiter through the event list so
-		// same-time wakeups keep deterministic FIFO order.
+		// same-time wakeups keep deterministic FIFO order. A proc accrues
+		// its wait when it resumes inside Acquire; a machine accrues here
+		// at grant — the same virtual instant either way.
+		if w.mach != nil {
+			r.totalWaitTime += r.kernel.now - w.since
+			w.mach.wake(r.kernel.now)
+			return
+		}
 		r.kernel.schedule(r.kernel.now, w.proc, nil)
 		return
 	}

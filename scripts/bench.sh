@@ -12,7 +12,8 @@
 #           retained scanCore reference twin       -> BENCH_model.json
 #   fleet   the multi-cell fleet engine: wall-clock and Mevents/s of a
 #           100-client run at 1/2/4/8 cells plus the relay-cache point
-#           (cells scale across the worker pool)   -> BENCH_fleet.json
+#           (cells scale across the worker pool), and the Proc-vs-SM
+#           engine race at 100 and 1000 clients    -> BENCH_fleet.json
 #
 # Environment knobs:
 #   BENCH_TIME        go -benchtime for the kernel benches   (default 200x)
@@ -87,7 +88,7 @@ if [ -z "${SKIP_MODEL:-}" ]; then
 fi
 
 if [ -z "${SKIP_FLEET:-}" ]; then
-    go test -run '^$' -bench '^BenchmarkFleet$' -benchmem \
+    go test -run '^$' -bench '^BenchmarkFleet' -benchmem \
         -benchtime "$BENCH_FLEET_TIME" -count "$BENCH_COUNT" . | tee "$raw"
     emit_json "$raw" BENCH_fleet.json
 fi

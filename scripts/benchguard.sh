@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# benchguard.sh — CI gate against kernel hot-path regressions.
+#
+# Re-runs the steady-state per-event kernel benchmarks (the KernelHoldLoop
+# class: tight hold loops and resource contention on both execution
+# engines) and compares each against the ns_per_op recorded in the
+# committed BENCH_kernel.json. A bench running more than REGRESSION_FACTOR
+# (default 2.0) times slower than its committed baseline fails the build.
+#
+# The factor is deliberately loose: CI machines differ from the machine
+# that recorded the baseline, and these benches are single-digit
+# microseconds. The gate exists to catch accidental O(n) work or
+# allocation on the per-event path — 10x-class regressions — not 20%
+# drift. Benches without a committed baseline are reported and skipped, so
+# adding a benchmark does not require updating the JSON in the same
+# commit.
+#
+# Environment knobs:
+#   REGRESSION_FACTOR  failure threshold vs baseline   (default 2.0)
+#   BENCH_TIME         go -benchtime                   (default 200x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_kernel.json"
+FACTOR="${REGRESSION_FACTOR:-2.0}"
+BENCH_TIME="${BENCH_TIME:-200x}"
+GUARD='^BenchmarkKernel(StateMachine)?(HoldLoop|ResourceContention|ManyMachines)$'
+
+[ -f "$BASELINE" ] || { echo "benchguard: $BASELINE missing; run scripts/bench.sh first" >&2; exit 1; }
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$GUARD" -benchtime "$BENCH_TIME" ./internal/sim | tee "$raw"
+
+awk -v factor="$FACTOR" -v baseline="$BASELINE" '
+# Pass 1: committed baselines — lines like {"name": "KernelHoldLoop", ..., "ns_per_op": 560.5, ...}
+FILENAME == baseline && /"name"/ {
+    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    ns = $0;   sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+    base[name] = ns + 0
+    next
+}
+# Pass 2: fresh run — "BenchmarkKernelHoldLoop-8   200   571.2 ns/op ..."
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    fresh = $3 + 0
+    checked++
+    if (!(name in base)) {
+        printf("benchguard: %-45s %12.1f ns/op  (no baseline, skipped)\n", name, fresh)
+        next
+    }
+    ratio = base[name] > 0 ? fresh / base[name] : 0
+    verdict = ratio > factor ? "FAIL" : "ok"
+    printf("benchguard: %-45s %12.1f ns/op  baseline %12.1f  ratio %.2fx  %s\n",
+           name, fresh, base[name], ratio, verdict)
+    if (ratio > factor) failures++
+}
+END {
+    if (checked == 0) { print "benchguard: no benchmarks ran" > "/dev/stderr"; exit 1 }
+    if (failures > 0) {
+        printf("benchguard: %d benchmark(s) regressed beyond %.1fx of %s\n",
+               failures, factor, baseline) > "/dev/stderr"
+        exit 1
+    }
+    printf("benchguard: %d benchmark(s) within %.1fx of committed baselines\n", checked, factor)
+}' "$BASELINE" "$raw"
