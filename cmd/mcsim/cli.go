@@ -33,6 +33,8 @@ type simOpts struct {
 	beta        float64
 	coherenceS  string
 	fixedLease  float64
+	irWindow    float64
+	coopPeers   int
 	shed        float64
 	disconnect  int
 	hours       float64
@@ -69,8 +71,10 @@ func (o *simOpts) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.arrival, "arrival", "poisson", "arrival pattern: poisson|bursty")
 	fs.Float64Var(&o.update, "update", 0.1, "update probability U")
 	fs.Float64Var(&o.beta, "beta", 0, "coherence staleness tolerance beta")
-	fs.StringVar(&o.coherenceS, "coherence", "lease", "coherence strategy: lease|fixed|ir")
+	fs.StringVar(&o.coherenceS, "coherence", "lease", "coherence strategy: lease|fixed|ir|irb")
 	fs.Float64Var(&o.fixedLease, "lease", 0, "fixed-lease duration in seconds (with -coherence fixed)")
+	fs.Float64Var(&o.irWindow, "irwindow", 0, "broadcast-IR history window in seconds (with -coherence irb; 0 = 5 report intervals)")
+	fs.IntVar(&o.coopPeers, "coop", 0, "cooperative caching: peers scanned per local miss (0 = off)")
 	fs.Float64Var(&o.shed, "shed", 0, "timeout-heuristic threshold in seconds (0 = off)")
 	fs.IntVar(&o.disconnect, "disconnected", 0, "number of disconnected clients V")
 	fs.Float64Var(&o.hours, "hours", 0, "disconnection duration D in hours")
@@ -116,16 +120,13 @@ func (o *simOpts) config() (experiment.Config, error) {
 	cfg.BackboneBandwidthBps = o.backboneBps
 	cfg.BackboneLatency = o.backboneLat
 	applyFaultFlags(&cfg, o.loss, o.corrupt, o.burst, o.burstLen, o.retryMax, o.backoff)
-	switch o.coherenceS {
-	case "lease":
-		cfg.Coherence = coherence.LeaseStrategy
-	case "fixed":
-		cfg.Coherence = coherence.FixedLeaseStrategy
-	case "ir":
-		cfg.Coherence = coherence.InvalidationReportStrategy
-	default:
-		return cfg, fmt.Errorf("unknown coherence strategy %q (want lease|fixed|ir)", o.coherenceS)
+	strat, ok := coherence.Parse(o.coherenceS)
+	if !ok {
+		return cfg, fmt.Errorf("unknown coherence strategy %q (want lease|fixed|ir|irb)", o.coherenceS)
 	}
+	cfg.Coherence = strat
+	cfg.IRWindow = o.irWindow
+	cfg.CoopPeers = o.coopPeers
 	return cfg, nil
 }
 
@@ -286,7 +287,7 @@ func explicitSimFlags(fs *flag.FlagSet) []string {
 // cmdExp implements `mcsim exp <id>`: regenerate experiment tables.
 func cmdExp(args []string) {
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..9, table1, or all; experiments:\n%s",
+		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..10, table1, or all; experiments:\n%s",
 			strings.TrimRight(expCatalogList(), "\n")))
 	}
 	which := args[0]

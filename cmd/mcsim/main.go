@@ -4,7 +4,7 @@
 // The command surface is three subcommands:
 //
 //	mcsim run [flags]        one configuration (single cell or a fleet)
-//	mcsim exp <id> [flags]   experiment tables: 1..9, table1, or all
+//	mcsim exp <id> [flags]   experiment tables: 1..10, table1, or all
 //	mcsim report <dir>       summarize a report directory; -verify replays it
 //
 // Regenerate a figure (the experiment numbers match §5 of the paper):
@@ -18,6 +18,7 @@
 //	mcsim exp 7           # beyond the paper: unreliable channels
 //	mcsim exp 8           # beyond the paper: fleet scaling (clients x cells)
 //	mcsim exp 9           # beyond the paper: million-client fleets (SM engine)
+//	mcsim exp 10          # beyond the paper: IR broadcast vs cooperative caching
 //	mcsim exp table1      # Table 1: parameter settings
 //	mcsim exp all         # everything
 //
@@ -98,7 +99,7 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mcsim run [flags]          run one configuration (mcsim run -h for flags)
-  mcsim exp <id> [flags]     regenerate experiments: 1..9, table1, or all
+  mcsim exp <id> [flags]     regenerate experiments: 1..10, table1, or all
   mcsim report <dir> [-verify]  summarize (and optionally replay) a report
   mcsim -run|-exp ...        legacy flag surface, kept for existing scripts
 
@@ -119,7 +120,7 @@ func legacyMain() {
 	}
 	var o simOpts
 	o.register(fs)
-	expFlag := fs.String("exp", "", "experiment to regenerate: 1..9, table1, or all")
+	expFlag := fs.String("exp", "", "experiment to regenerate: 1..10, table1, or all")
 	quick := fs.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
 	runOne := fs.Bool("run", false, "run a single custom configuration")
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
@@ -266,6 +267,14 @@ func printResult(res experiment.Result) {
 	if res.CacheDrops > 0 {
 		fmt.Printf("cache drops    %d (missed invalidation reports)\n", res.CacheDrops)
 	}
+	if res.IRReports > 0 {
+		fmt.Printf("IR broadcast   %d reports (%.2f MB on air), %d missed, %d forced revalidations\n",
+			res.IRReports, float64(res.IRReportBytes)/1e6, res.IRMissed, res.ForcedRevals)
+	}
+	if res.PeerHits+res.PeerMisses > 0 {
+		fmt.Printf("cooperation    %d peer-served reads, %d fell through to the server\n",
+			res.PeerHits, res.PeerMisses)
+	}
 	if res.FramesLost > 0 || res.FramesCorrupted > 0 || res.Retries > 0 {
 		fmt.Printf("channel faults %d frames lost, %d corrupted\n",
 			res.FramesLost, res.FramesCorrupted)
@@ -298,6 +307,7 @@ var expCatalog = []struct{ key, summary string }{
 	{"7", "beyond the paper: unreliable channels (loss x burst x coherence)"},
 	{"8", "beyond the paper: fleet scaling (clients x cells x relay cache)"},
 	{"9", "beyond the paper: million-client fleets on the state-machine engine"},
+	{"10", "beyond the paper: IR broadcast vs cooperative caching (loss x fleet)"},
 	{"table1", "Table 1: parameter settings"},
 	{"all", "every experiment above"},
 }
@@ -315,7 +325,7 @@ func expCatalogList() string {
 // unknownExperiment builds the error for an unrecognized experiment id: the
 // valid range plus one line per experiment.
 func unknownExperiment(which string) error {
-	return fmt.Errorf("unknown experiment %q (want 1..9, table1, all); valid experiments:\n%s",
+	return fmt.Errorf("unknown experiment %q (want 1..10, table1, all); valid experiments:\n%s",
 		which, strings.TrimRight(expCatalogList(), "\n"))
 }
 
@@ -381,6 +391,13 @@ func expJobs(which string, base experiment.Config, quick bool) ([]expJob, error)
 			add("Experiment #9 (million-client fleets)", func() fmt.Stringer { return experiment.Exp9(base) })
 		}
 	}
+	if want("10") {
+		if quick {
+			add("Experiment #10 (coherence schemes, quick grid)", func() fmt.Stringer { return experiment.Exp10Quick(base) })
+		} else {
+			add("Experiment #10 (coherence schemes head-to-head)", func() fmt.Stringer { return experiment.Exp10(base) })
+		}
+	}
 	if len(jobs) == 0 {
 		return nil, unknownExperiment(which)
 	}
@@ -428,11 +445,11 @@ func runExperiments(which string, base experiment.Config, quick bool, reportDir 
 // runExperimentsRep is runExperiments returning the first table-producing
 // report, which manifest replays hash-check against the archived digests.
 // Quick mode shortens an unset horizon to one day — except for Experiments
-// #8 and #9, whose fleet grids carry their own shorter defaults.
+// #8, #9 and #10, whose fleet grids carry their own shorter defaults.
 func runExperimentsRep(which string, base experiment.Config, quick bool,
 	reportDir string) (*experiment.Report, error) {
 
-	if quick && base.Days == 0 && which != "8" && which != "9" {
+	if quick && base.Days == 0 && which != "8" && which != "9" && which != "10" {
 		base.Days = 1
 	}
 	jobs, err := expJobs(which, base, quick)

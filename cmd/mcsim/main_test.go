@@ -80,7 +80,7 @@ func TestRunExperimentsUnknown(t *testing.T) {
 	// The error teaches the valid range: every catalog key with its
 	// one-line summary.
 	msg := err.Error()
-	if !strings.Contains(msg, "want 1..9, table1, all") {
+	if !strings.Contains(msg, "want 1..10, table1, all") {
 		t.Fatalf("error lacks valid range: %v", msg)
 	}
 	for _, e := range expCatalog {

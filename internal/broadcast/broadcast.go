@@ -17,6 +17,7 @@ package broadcast
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -127,6 +128,89 @@ func (p *Program) Register(reg *obs.Registry, prefix string) {
 	reg.Gauge(prefix+".cycle_s", p.Cycle)
 	reg.Gauge(prefix+".slot_bytes", func() float64 { return float64(p.SlotBytes()) })
 	reg.Gauge(prefix+".mean_wait_s", p.MeanWait)
+}
+
+// UpdateWindow accumulates a server's write stream for the windowed
+// IR-over-broadcast coherence scheme: each invalidation report at time T
+// carries the distinct items written during the trailing window (T−W, T].
+// The log is a chronological queue trimmed on every report, so memory is
+// bounded by the write rate times the window, not by the run length.
+type UpdateWindow struct {
+	window float64
+	events []updateEvent // chronological; head trimmed on Report
+	head   int
+	seen   map[oodb.Item]struct{} // scratch for per-report dedup
+	items  []oodb.Item            // scratch for the returned report
+}
+
+type updateEvent struct {
+	at   float64
+	item oodb.Item
+}
+
+// NewUpdateWindow returns a log covering a trailing window of the given
+// length in simulated seconds.
+func NewUpdateWindow(window float64) *UpdateWindow {
+	if window <= 0 {
+		panic("broadcast: update window must be positive")
+	}
+	return &UpdateWindow{window: window, seen: make(map[oodb.Item]struct{})}
+}
+
+// Window returns the trailing window length in seconds.
+func (w *UpdateWindow) Window() float64 { return w.window }
+
+// Observe appends a write of item at virtual time now. Observations must
+// arrive in non-decreasing time order.
+func (w *UpdateWindow) Observe(it oodb.Item, now float64) {
+	w.events = append(w.events, updateEvent{at: now, item: it})
+}
+
+// Report returns the distinct items written in (now−window, now], in
+// canonical (OID, Attr) order so report contents are independent of
+// observation interleaving. Events that fell out of the window are
+// discarded; the returned slice is reused by the next call.
+func (w *UpdateWindow) Report(now float64) []oodb.Item {
+	cutoff := now - w.window
+	for w.head < len(w.events) && w.events[w.head].at <= cutoff {
+		w.events[w.head] = updateEvent{}
+		w.head++
+	}
+	if w.head == len(w.events) {
+		w.events = w.events[:0]
+		w.head = 0
+	}
+	w.items = w.items[:0]
+	for _, ev := range w.events[w.head:] {
+		if _, dup := w.seen[ev.item]; dup {
+			continue
+		}
+		w.seen[ev.item] = struct{}{}
+		w.items = append(w.items, ev.item)
+	}
+	for it := range w.seen {
+		delete(w.seen, it)
+	}
+	sort.Slice(w.items, func(i, j int) bool {
+		a, b := w.items[i], w.items[j]
+		if a.OID != b.OID {
+			return a.OID < b.OID
+		}
+		return a.Attr < b.Attr
+	})
+	return w.items
+}
+
+// Pending returns the number of logged events still inside the window as
+// of the last Report call (plus any observed since) — a sizing aid for
+// tests and observability.
+func (w *UpdateWindow) Pending() int { return len(w.events) - w.head }
+
+// ReportBytes returns the wire size of an invalidation report naming n
+// items: one frame header plus an (OID, attribute-ref) pair per item —
+// the same framing the point-to-point invalidation reports use.
+func ReportBytes(n int) int {
+	return network.HeaderSize + n*(network.OIDSize+network.AttrRefSize)
 }
 
 // HotAttrItems is a helper for assembling programs: the cross product of

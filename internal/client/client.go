@@ -92,6 +92,12 @@ type Config struct {
 	// FixedLease is the refresh duration for FixedLeaseStrategy
 	// (coherence.DefaultFixedLease if zero).
 	FixedLease float64
+	// IRWindow is the trailing update window, in seconds, covered by each
+	// IR-over-broadcast report (coherence.DefaultIRWindow if zero; used
+	// only under IRBroadcastStrategy). A client whose last received report
+	// is older than the window cannot bound its staleness and
+	// force-revalidates its cache.
+	IRWindow float64
 	// Tracer receives one record per completed query (nil = no tracing).
 	Tracer trace.Tracer
 	// UpFaults / DownFaults attach unreliable-channel fault models to the
@@ -145,6 +151,27 @@ type Client struct {
 	irLastSeq     uint64
 	irSynced      bool // whether the client saw the previous report
 	irDrops       uint64
+
+	// IR-over-broadcast state (IRBroadcastStrategy): the window each report
+	// covers, the time of the last successfully received report, and the
+	// scheme's health counters.
+	irWindow    float64
+	irLastGood  float64
+	irbReports  uint64
+	irbMissed   uint64
+	forcedReval uint64
+
+	// Cooperative lookup state: the client's cell-local peer group (set by
+	// SetPeers; nil = cooperation off), its own index in it, how many peers
+	// a miss scans, the staged exchange plan, and the hit/miss counters.
+	peers          []*Client
+	peerSelf       int
+	peerScan       int
+	peerGot        []peerCopy
+	peerProbeBytes int
+	peerReplyBytes int
+	peerHits       uint64
+	peerMisses     uint64
 
 	// Reliability layer (retry.go); active only when a fault model is
 	// attached to at least one channel direction.
@@ -229,6 +256,13 @@ func New(cfg Config) *Client {
 	if fixedLease < 0 {
 		panic("client: FixedLease must be positive")
 	}
+	irWindow := cfg.IRWindow
+	if irWindow == 0 {
+		irWindow = coherence.DefaultIRWindow
+	}
+	if irWindow < 0 {
+		panic("client: IRWindow must be positive")
+	}
 
 	return &Client{
 		id:             cfg.ID,
@@ -249,6 +283,7 @@ func New(cfg Config) *Client {
 		shedThreshold:  cfg.ShedThreshold,
 		coherenceMode:  cfg.Coherence,
 		fixedLease:     fixedLease,
+		irWindow:       irWindow,
 		tracer:         cfg.Tracer,
 		bcast:          cfg.Broadcast,
 		upFaults:       cfg.UpFaults,
@@ -298,6 +333,15 @@ func (c *Client) Register(reg *obs.Registry, prefix string) {
 		return
 	}
 	reg.Gauge(prefix+".energy_j", func() float64 { return c.energyJoules })
+	if c.coherenceMode == coherence.IRBroadcastStrategy {
+		reg.Gauge(prefix+".ir_reports", func() float64 { return float64(c.irbReports) })
+		reg.Gauge(prefix+".ir_missed", func() float64 { return float64(c.irbMissed) })
+		reg.Gauge(prefix+".forced_reval", func() float64 { return float64(c.forcedReval) })
+	}
+	if c.peerScan > 0 {
+		reg.Gauge(prefix+".peer_hits", func() float64 { return float64(c.peerHits) })
+		reg.Gauge(prefix+".peer_misses", func() float64 { return float64(c.peerMisses) })
+	}
 	if c.store == nil {
 		return
 	}
@@ -468,6 +512,13 @@ func (c *Client) processQuery(p *sim.Proc, q *workload.Query, issuedAt float64) 
 		need = pull
 	}
 
+	// Cooperative lookup: ask cell peers for valid copies before paying
+	// the server round trip.
+	peerRadio := false
+	if c.peerScan > 0 && connected && len(need) > 0 {
+		need, peerRadio = c.fetchFromPeers(p, need, &rec)
+	}
+
 	remote := connected && len(need) > 0
 	if remote {
 		if c.faulted() {
@@ -491,7 +542,7 @@ func (c *Client) processQuery(p *sim.Proc, q *workload.Query, issuedAt float64) 
 	c.scratchNeed = need[:0]
 	c.scratchAir = fromAir[:0]
 
-	rec.Remote = remote || len(fromAir) > 0
+	rec.Remote = remote || len(fromAir) > 0 || peerRadio
 	rec.CompletedAt = p.Now()
 	c.m.RecordQuery(issuedAt, p.Now(), remote, !connected)
 	if c.tracer != nil {
@@ -515,7 +566,7 @@ func (c *Client) receiveBroadcast(p *sim.Proc, items []oodb.Item) {
 			ExpiresAt: p.Now() + c.bcast.Cycle(),
 			FetchedAt: p.Now(),
 		}
-		if c.coherenceMode == coherence.InvalidationReportStrategy {
+		if reportCoherence(c.coherenceMode) {
 			entry.ExpiresAt = coherence.NoExpiry
 		}
 		if c.store != nil {
@@ -523,6 +574,12 @@ func (c *Client) receiveBroadcast(p *sim.Proc, items []oodb.Item) {
 		}
 		c.membuf.Put(item, entry)
 	}
+}
+
+// reportCoherence reports whether the strategy maintains validity through
+// invalidation reports (cached entries carry no lease of their own).
+func reportCoherence(s coherence.Strategy) bool {
+	return s == coherence.InvalidationReportStrategy || s == coherence.IRBroadcastStrategy
 }
 
 // BroadcastReads reports how many reads were answered from the broadcast
@@ -619,7 +676,7 @@ func (c *Client) installReply(now float64, need []workload.ReadOp, items []serve
 			FetchedAt: now,
 		}
 		switch c.coherenceMode {
-		case coherence.InvalidationReportStrategy:
+		case coherence.InvalidationReportStrategy, coherence.IRBroadcastStrategy:
 			// Validity is maintained by broadcast reports, not leases.
 			entry.ExpiresAt = coherence.NoExpiry
 		case coherence.FixedLeaseStrategy:

@@ -1,0 +1,205 @@
+package client
+
+import (
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/oodb"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file implements cooperative client caching (Joy & Jacob's
+// ad-hoc-network scheme adapted to the paper's cellular model): on a
+// connected local miss, a client first asks the peers in its cell for
+// valid cached copies before paying the server round trip. The scan
+// itself is simulation-level knowledge (the harness can see every peer's
+// cache), but the exchange is paid for on the wire: one probe frame on
+// the cell uplink and one batched reply on the downlink, judged by the
+// same fault models as any other frame — a lost probe or reply simply
+// falls the reads back to the normal server path, with no retries.
+//
+// Peer-served reads are charged against the error oracle exactly like
+// server-served ones, using the *peer's* cached version: a peer can hand
+// out a copy that is already stale, which is the coherence cost the
+// cooperative scheme trades for offloading the server. Copies are
+// installed with the peer's remaining lease, never a fresh one.
+
+// peerCopy is one staged peer-served read in the current exchange plan.
+type peerCopy struct {
+	readIdx int32      // index into the query's need slice
+	src     int32      // index of the serving peer in c.peers
+	item    oodb.Item  // the cached unit covering the read
+	entry   core.Entry // the peer's copy at plan time
+	newItem bool       // first occurrence of item in this plan
+}
+
+// SetPeers installs the client's cell-local peer group and the maximum
+// number of peers a miss scans. peers must contain the client itself;
+// scanning starts at the next peer and wraps, so load spreads round-robin
+// across the cell. Call before the simulation starts.
+func (c *Client) SetPeers(peers []*Client, scan int) {
+	if scan <= 0 {
+		panic("client: SetPeers scan must be positive")
+	}
+	self := -1
+	for i, p := range peers {
+		if p == c {
+			self = i
+			break
+		}
+	}
+	if self < 0 {
+		panic("client: SetPeers group must include the client")
+	}
+	c.peers = peers
+	c.peerSelf = self
+	c.peerScan = scan
+}
+
+// peekValid looks item up without touching replacement state and reports
+// it only if its lease is still valid at now — what a peer is willing to
+// serve.
+func (c *Client) peekValid(item oodb.Item, now float64) (core.Entry, bool) {
+	e, ok := c.peekLocal(item)
+	if !ok || !e.ValidAt(now) {
+		return core.Entry{}, false
+	}
+	return e, true
+}
+
+// planPeerFetch scans up to peerScan peers for valid copies covering the
+// needed reads and stages the exchange plan (served reads, wire sizes).
+// It mutates no counters and touches no channels, so both execution
+// engines can call it at their peer-stage entry; it reports whether any
+// read is peer-servable.
+func (c *Client) planPeerFetch(now float64, need []workload.ReadOp) bool {
+	got := c.peerGot[:0]
+	probeItems := 0
+	replyBytes := network.HeaderSize
+	scan := c.peerScan
+	if scan > len(c.peers)-1 {
+		scan = len(c.peers) - 1
+	}
+	for i, rd := range need {
+		item := core.CoverItem(c.granularity, rd.OID, rd.Attr)
+		// A query repeating an item is served by the one staged copy.
+		dup := false
+		for g := range got {
+			if got[g].item == item {
+				got = append(got, peerCopy{
+					readIdx: int32(i), src: got[g].src,
+					item: item, entry: got[g].entry,
+				})
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		for k := 1; k <= scan; k++ {
+			pi := (c.peerSelf + k) % len(c.peers)
+			if e, ok := c.peers[pi].peekValid(item, now); ok {
+				got = append(got, peerCopy{
+					readIdx: int32(i), src: int32(pi),
+					item: item, entry: e, newItem: true,
+				})
+				probeItems++
+				replyBytes += network.ReplyEntrySize(item)
+				break
+			}
+		}
+	}
+	c.peerGot = got
+	if len(got) == 0 {
+		return false
+	}
+	c.peerProbeBytes = network.HeaderSize + probeItems*(network.OIDSize+network.AttrRefSize)
+	c.peerReplyBytes = replyBytes
+	return true
+}
+
+// commitPeerFetch lands a successful exchange: records each staged read
+// against the metrics and the error oracle, installs the copies, charges
+// the serving peers' transmit energy, and returns need with the served
+// reads removed. Reads still left over are peer misses bound for the
+// server.
+func (c *Client) commitPeerFetch(now float64, need []workload.ReadOp, rec *trace.QueryRecord) []workload.ReadOp {
+	batch := c.scratchBatch[:0]
+	for _, g := range c.peerGot {
+		isErr := c.oracle.IsError(g.item, g.entry.Version)
+		c.m.RecordAccess(now, false)
+		c.m.RecordError(now, isErr)
+		c.peerHits++
+		if isErr {
+			rec.Errors++
+		}
+		if g.newItem {
+			batch = append(batch, core.BatchEntry{Item: g.item, Entry: g.entry})
+			c.membuf.Put(g.item, g.entry)
+			c.peers[g.src].energyJoules += network.TxEnergy(network.ReplyEntrySize(g.item))
+		}
+	}
+	if c.store != nil {
+		c.store.InsertBatch(batch, now)
+	}
+	c.scratchBatch = batch[:0]
+	// Compact need in place: peerGot holds readIdx in ascending order.
+	out := need[:0]
+	gi := 0
+	for i := range need {
+		if gi < len(c.peerGot) && int(c.peerGot[gi].readIdx) == i {
+			gi++
+			continue
+		}
+		out = append(out, need[i])
+	}
+	c.peerGot = c.peerGot[:0]
+	c.peerMisses += uint64(len(out))
+	return out
+}
+
+// abortPeerFetch discards the staged plan after a lost or corrupted
+// exchange frame; every read falls back to the server path.
+func (c *Client) abortPeerFetch(need []workload.ReadOp) {
+	c.peerGot = c.peerGot[:0]
+	c.peerMisses += uint64(len(need))
+}
+
+// fetchFromPeers is the Proc-engine peer stage: plan, then pay for the
+// probe/reply exchange on the shared channels under the attached fault
+// models (single attempt — a failed exchange falls back to the server,
+// the reliability layer's retries apply only to the server round trip).
+// It returns the remaining need and whether the radio was used.
+func (c *Client) fetchFromPeers(p *sim.Proc, need []workload.ReadOp, rec *trace.QueryRecord) ([]workload.ReadOp, bool) {
+	if !c.planPeerFetch(p.Now(), need) {
+		c.peerMisses += uint64(len(need))
+		return need, false
+	}
+	c.up.Send(p, c.peerProbeBytes)
+	c.energyJoules += network.TxEnergy(c.peerProbeBytes)
+	if transmit(c.upFaults, p.Now()) != network.FrameDelivered {
+		c.abortPeerFetch(need)
+		return need, true
+	}
+	c.down.Send(p, c.peerReplyBytes)
+	outcome := transmit(c.downFaults, p.Now())
+	if outcome != network.FrameLost {
+		// The frame was received (and, if corrupted, rejected after the
+		// fact): the radio energy is spent either way.
+		c.energyJoules += network.RxEnergy(c.peerReplyBytes)
+	}
+	if outcome != network.FrameDelivered {
+		c.abortPeerFetch(need)
+		return need, true
+	}
+	return c.commitPeerFetch(p.Now(), need, rec), true
+}
+
+// PeerHits reports reads served from a peer's cache.
+func (c *Client) PeerHits() uint64 { return c.peerHits }
+
+// PeerMisses reports connected local-miss reads that went to the server
+// despite cooperation (no peer copy, or a failed exchange).
+func (c *Client) PeerMisses() uint64 { return c.peerMisses }

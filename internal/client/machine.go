@@ -38,7 +38,10 @@ type machineBackend interface {
 const (
 	cmArrive       uint8 = iota // draw next arrival; wait for it
 	cmQuery                     // generate the query; probe the local caches
-	cmLocalDone                 // local holds paid; split air/pull/remote
+	cmLocalDone                 // local holds paid; split air/pull/peer
+	cmPeerUp                    // cooperative lookup: probe frame on the uplink
+	cmPeerDown                  // cooperative lookup: batched reply downlink
+	cmRemote                    // peer stage settled; decide the server trip
 	cmUpSend                    // perfect channel: uplink transfer
 	cmSrv                       // perfect channel: server staging
 	cmDown                      // perfect channel: downlink transfer
@@ -71,6 +74,7 @@ type clientMachine struct {
 	connected bool
 	existent  int
 	remote    bool
+	peerRadio bool
 	rec       trace.QueryRecord
 	need      []workload.ReadOp
 	fromAir   []oodb.Item
@@ -229,6 +233,47 @@ func (cm *clientMachine) Step(m *sim.Machine) {
 				cm.need = pull
 			}
 			cm.fromAir = fromAir
+			cm.peerRadio = false
+			if c.peerScan > 0 && cm.connected && len(cm.need) > 0 {
+				if c.planPeerFetch(m.Now(), cm.need) {
+					cm.peerRadio = true
+					cm.pc = cmPeerUp
+					continue
+				}
+				c.peerMisses += uint64(len(cm.need))
+			}
+			cm.pc = cmRemote
+
+		case cmPeerUp:
+			if !c.up.SendStep(m, &cm.send, c.peerProbeBytes) {
+				return
+			}
+			c.energyJoules += network.TxEnergy(c.peerProbeBytes)
+			if transmit(c.upFaults, m.Now()) != network.FrameDelivered {
+				c.abortPeerFetch(cm.need)
+				cm.pc = cmRemote
+				continue
+			}
+			cm.pc = cmPeerDown
+
+		case cmPeerDown:
+			if !c.down.SendStep(m, &cm.send, c.peerReplyBytes) {
+				return
+			}
+			outcome := transmit(c.downFaults, m.Now())
+			if outcome != network.FrameLost {
+				// The frame was received (and, if corrupted, rejected after
+				// the fact): the radio energy is spent either way.
+				c.energyJoules += network.RxEnergy(c.peerReplyBytes)
+			}
+			if outcome != network.FrameDelivered {
+				c.abortPeerFetch(cm.need)
+			} else {
+				cm.need = c.commitPeerFetch(m.Now(), cm.need, &cm.rec)
+			}
+			cm.pc = cmRemote
+
+		case cmRemote:
 			cm.remote = cm.connected && len(cm.need) > 0
 			if !cm.remote {
 				cm.pc = cmAir
@@ -381,7 +426,7 @@ func (cm *clientMachine) Step(m *sim.Machine) {
 				ExpiresAt: m.Now() + c.bcast.Cycle(),
 				FetchedAt: m.Now(),
 			}
-			if c.coherenceMode == coherence.InvalidationReportStrategy {
+			if reportCoherence(c.coherenceMode) {
 				entry.ExpiresAt = coherence.NoExpiry
 			}
 			if c.store != nil {
@@ -395,7 +440,7 @@ func (cm *clientMachine) Step(m *sim.Machine) {
 			// Hand the (possibly grown) scratch backing arrays back for reuse.
 			c.scratchNeed = cm.need[:0]
 			c.scratchAir = cm.fromAir[:0]
-			cm.rec.Remote = cm.remote || len(cm.fromAir) > 0
+			cm.rec.Remote = cm.remote || len(cm.fromAir) > 0 || cm.peerRadio
 			cm.rec.CompletedAt = m.Now()
 			c.m.RecordQuery(cm.scheduled, m.Now(), cm.remote, !cm.connected)
 			if c.tracer != nil {

@@ -50,6 +50,18 @@ const (
 	// weakness ("it is difficult to determine an appropriate refresh
 	// duration", §2) motivates the paper's adaptive per-item estimate.
 	FixedLeaseStrategy
+	// IRBroadcastStrategy is the windowed invalidation-report scheme of
+	// Barbará & Imieliński's broadcasting-timestamps variant: every report
+	// period the server pushes, over a dedicated downlink broadcast
+	// channel, the set of items written during the trailing report window.
+	// A client whose silence gap fits inside the window reconciles
+	// incrementally; a client that slept through more than one window (or
+	// lost the report frame to channel faults) can no longer bound its
+	// staleness and must force-revalidate every cached item on next use.
+	// Unlike InvalidationReportStrategy it works across fleet cells (one
+	// broadcaster per cell) and degrades gracefully: forced revalidation
+	// keeps the cache contents, only their leases are voided.
+	IRBroadcastStrategy
 )
 
 // String renders the strategy name.
@@ -61,9 +73,29 @@ func (s Strategy) String() string {
 		return "invalidation-report"
 	case FixedLeaseStrategy:
 		return "fixed-lease"
+	case IRBroadcastStrategy:
+		return "ir-broadcast"
 	default:
 		return "strategy(?)"
 	}
+}
+
+// Parse maps a CLI/option spelling to a Strategy. Accepted names are the
+// String() forms plus the short CLI aliases: "lease", "fixed"/"fixed-lease",
+// "ir"/"invalidation-report", and "irb"/"ir-broadcast". The boolean reports
+// whether the name was recognized.
+func Parse(name string) (Strategy, bool) {
+	switch name {
+	case "lease":
+		return LeaseStrategy, true
+	case "ir", "invalidation-report":
+		return InvalidationReportStrategy, true
+	case "fixed", "fixed-lease":
+		return FixedLeaseStrategy, true
+	case "irb", "ir-broadcast":
+		return IRBroadcastStrategy, true
+	}
+	return 0, false
 }
 
 // DefaultReportInterval is the invalidation-report broadcast period in
@@ -73,6 +105,12 @@ const DefaultReportInterval = 60.0
 // DefaultFixedLease is the refresh duration used by FixedLeaseStrategy
 // when none is configured.
 const DefaultFixedLease = 600.0
+
+// DefaultIRWindow is the trailing update window, in simulated seconds,
+// covered by each IRBroadcastStrategy report when none is configured.
+// Five report periods of slack lets a client ride out transient frame
+// loss without forced revalidation.
+const DefaultIRWindow = 5 * DefaultReportInterval
 
 // RefreshEstimator tracks the write streams of database items at the
 // server and estimates per-item refresh times. One estimator instance

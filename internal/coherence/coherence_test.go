@@ -209,3 +209,36 @@ func TestQuickErrorMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParse covers the flag-facing name table, including every alias and
+// the rejection of unknown names.
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name string
+		want Strategy
+		ok   bool
+	}{
+		{"lease", LeaseStrategy, true},
+		{"ir", InvalidationReportStrategy, true},
+		{"invalidation-report", InvalidationReportStrategy, true},
+		{"fixed", FixedLeaseStrategy, true},
+		{"fixed-lease", FixedLeaseStrategy, true},
+		{"irb", IRBroadcastStrategy, true},
+		{"ir-broadcast", IRBroadcastStrategy, true},
+		{"", 0, false},
+		{"LEASE", 0, false},
+		{"broadcast", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := Parse(tc.name)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Parse(%q) = %v, %v; want %v, %v", tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+	for _, s := range []Strategy{LeaseStrategy, InvalidationReportStrategy,
+		FixedLeaseStrategy, IRBroadcastStrategy} {
+		if got, ok := Parse(s.String()); !ok || got != s {
+			t.Errorf("Parse(%q) does not round-trip %v", s.String(), s)
+		}
+	}
+}

@@ -114,10 +114,21 @@ type Config struct {
 
 	// Coherence selects the coherence strategy (default: the paper's
 	// leases). ReportInterval is the broadcast period for the
-	// invalidation-report baseline (default coherence.DefaultReportInterval).
+	// invalidation-report baselines (default coherence.DefaultReportInterval).
 	Coherence      coherence.Strategy
 	ReportInterval float64
 	FixedLease     float64
+	// IRWindow is the trailing update window each IR-over-broadcast report
+	// covers, in seconds (IRBroadcastStrategy only; default five report
+	// periods). Must be at least one ReportInterval or consecutive reports
+	// leave coverage holes.
+	IRWindow float64
+
+	// CoopPeers > 0 enables cooperative client caching: on a connected
+	// local miss a client scans up to this many cell peers for valid
+	// cached copies — one probe/reply exchange on the cell channels —
+	// before paying the server round trip.
+	CoopPeers int
 
 	// Tracer receives one record per completed query across all clients
 	// (nil = no tracing). Excluded from run manifests: it is live state,
@@ -250,6 +261,10 @@ func Defaults(cfg Config) Config {
 	if cfg.ReportInterval == 0 {
 		cfg.ReportInterval = coherence.DefaultReportInterval
 	}
+	if cfg.IRWindow == 0 {
+		// Keep the default window/period ratio when the period is tuned.
+		cfg.IRWindow = cfg.ReportInterval * (coherence.DefaultIRWindow / coherence.DefaultReportInterval)
+	}
 	if cfg.SharedHotObjects > 0 && cfg.SharedHotProb == 0 {
 		cfg.SharedHotProb = 0.5
 	}
@@ -326,6 +341,17 @@ type Result struct {
 	RelayHits        uint64
 	RelayMisses      uint64
 	RelayedReads     uint64
+
+	// IR-over-broadcast measurements (IRBroadcastStrategy only; summed
+	// across cells in a fleet run).
+	IRReports     uint64 // reports pushed on the dedicated broadcast channel
+	IRReportBytes uint64 // cumulative report wire bytes
+	IRMissed      uint64 // report frames clients lost to channel faults
+	ForcedRevals  uint64 // whole-cache lease voids after unrecoverable report gaps
+
+	// Cooperative-lookup measurements (CoopPeers > 0 only).
+	PeerHits   uint64 // reads served from a peer's cache
+	PeerMisses uint64 // connected local misses that still went to the server
 }
 
 // PerClient is a per-client measurement snapshot.
@@ -402,6 +428,14 @@ func Run(cfg Config) Result {
 	if cfg.Coherence == coherence.InvalidationReportStrategy {
 		startBroadcaster(k, cfg, srv, down, clients, schedules)
 	}
+	var irb *irbState
+	if cfg.Coherence == coherence.IRBroadcastStrategy {
+		window := broadcast.NewUpdateWindow(cfg.IRWindow)
+		srv.SetWriteObserver(window.Observe)
+		irCh := network.NewChannel(k, "ir-broadcast", network.WirelessBandwidthBps)
+		irFaults := network.NewFaultModel(faultCfg, 3)
+		irb = startIRBBroadcaster(k, cfg, window, irCh, irFaults, clients, schedules)
+	}
 
 	// Observability (obs.go): wire every entity into the registry and
 	// attach its virtual-time sampler before the first event fires, so all
@@ -416,6 +450,7 @@ func Run(cfg Config) Result {
 
 	var agg metrics.Aggregate
 	var shed, drops, bcastReads uint64
+	var irMissed, forcedReval, peerHits, peerMisses uint64
 	var energy float64
 	perClient := make([]PerClient, len(clientMetrics))
 	for i, m := range clientMetrics {
@@ -423,6 +458,10 @@ func Run(cfg Config) Result {
 		shed += clients[i].ShedItems()
 		drops += clients[i].CacheDrops()
 		bcastReads += clients[i].BroadcastReads()
+		irMissed += clients[i].IRBMissed()
+		forcedReval += clients[i].ForcedRevalidations()
+		peerHits += clients[i].PeerHits()
+		peerMisses += clients[i].PeerMisses()
 		energy += clients[i].RadioEnergy()
 		issued, _, _, _ := m.Queries()
 		perClient[i] = PerClient{
@@ -442,6 +481,10 @@ func Run(cfg Config) Result {
 		accessErr = float64(agg.Errs.Num+agg.Unavail) / float64(agg.Hits.Denom)
 	}
 	upStats, downStats := upFaults.Stats(), downFaults.Stats()
+	var irReports, irBytes uint64
+	if irb != nil {
+		irReports, irBytes = irb.reports, irb.reportBytes
+	}
 	return Result{
 		Config:              cfg,
 		Events:              k.Steps(),
@@ -469,6 +512,12 @@ func Run(cfg Config) Result {
 		RadioEnergyPerQuery: energyPerQuery,
 		Server:              srv.Stats(),
 		PerClient:           perClient,
+		IRReports:           irReports,
+		IRReportBytes:       irBytes,
+		IRMissed:            irMissed,
+		ForcedRevals:        forcedReval,
+		PeerHits:            peerHits,
+		PeerMisses:          peerMisses,
 	}
 }
 
@@ -543,6 +592,7 @@ func buildClients(env clientEnv, lo, hi int) ([]*client.Client, []*metrics.Clien
 			ShedThreshold:    cfg.ShedThreshold,
 			Coherence:        cfg.Coherence,
 			FixedLease:       cfg.FixedLease,
+			IRWindow:         cfg.IRWindow,
 			Tracer:           cfg.Tracer,
 			Broadcast:        env.program,
 			UpFaults:         env.upFaults,
@@ -561,6 +611,13 @@ func buildClients(env clientEnv, lo, hi int) ([]*client.Client, []*metrics.Clien
 			cl.Start()
 		default:
 			panic(fmt.Sprintf("experiment: unknown engine %q", cfg.Engine))
+		}
+	}
+	// Cooperative lookup scopes to the cell: a client's peer group is
+	// exactly the clients sharing its channel pair.
+	if cfg.CoopPeers > 0 {
+		for _, cl := range clients {
+			cl.SetPeers(clients, cfg.CoopPeers)
 		}
 	}
 	return clients, clientMetrics
@@ -596,6 +653,64 @@ func startBroadcaster(k *sim.Kernel, cfg Config, srv *server.Server,
 			}
 		}
 	})
+}
+
+// irbState carries an IR-over-broadcast broadcaster's run totals for the
+// Result merge.
+type irbState struct {
+	reports     uint64
+	reportBytes uint64
+}
+
+// startIRBBroadcaster spawns the IR-over-broadcast process for one cell:
+// every ReportInterval seconds it assembles the report naming the items
+// written during the trailing IRWindow (fed by the server's write
+// observer), pays for its airtime on the dedicated broadcast channel, and
+// delivers it to every connected client in the cell. Reception is judged
+// per client against the channel's fault model in client order — a lost
+// or corrupted frame becomes MissIRBroadcast, the forced-revalidation
+// trigger. Disconnected clients simply have their radios off. All draws
+// happen inside the kernel process, so delivery outcomes are independent
+// of the execution engine and of -parallel.
+func startIRBBroadcaster(k *sim.Kernel, cfg Config, window *broadcast.UpdateWindow,
+	ch *network.Channel, faults *network.FaultModel,
+	clients []*client.Client, schedules []*network.Schedule) *irbState {
+
+	st := &irbState{}
+	horizon := cfg.Horizon()
+	k.Spawn("irb-broadcast", func(p *sim.Proc) {
+		for {
+			p.Hold(cfg.ReportInterval)
+			if p.Now() > horizon {
+				return
+			}
+			items := window.Report(p.Now())
+			size := broadcast.ReportBytes(len(items))
+			ch.Send(p, size)
+			st.reports++
+			st.reportBytes += uint64(size)
+			now := p.Now()
+			for i, cl := range clients {
+				if !schedules[i].Connected(now) {
+					continue
+				}
+				outcome := network.FrameDelivered
+				if faults != nil {
+					outcome = faults.Transmit(now)
+				}
+				switch outcome {
+				case network.FrameDelivered:
+					cl.ApplyIRBroadcast(now, items, size)
+				case network.FrameCorrupted:
+					// Received in full, rejected by the CRC: energy spent.
+					cl.MissIRBroadcast(now, cfg.ReportInterval, size)
+				default: // FrameLost
+					cl.MissIRBroadcast(now, cfg.ReportInterval, 0)
+				}
+			}
+		}
+	})
+	return st
 }
 
 // buildHeat instantiates the per-client heat model; each client gets its

@@ -116,6 +116,34 @@ func TestEngineLockstep(t *testing.T) {
 			Granularity: core.ObjectCaching, UpdateProb: 0.2,
 			LossRate: 0.1,
 		}},
+		{"irb-coherence", Config{
+			Seed: 10, Days: 0.05, NumClients: 8,
+			Granularity: core.HybridCaching, UpdateProb: 0.5,
+			Coherence: coherence.IRBroadcastStrategy,
+			LossRate:  0.2, CorruptRate: 0.05,
+		}},
+		{"irb-fleet-disconnect", Config{
+			Seed: 11, Days: 0.05, NumClients: 12, Cells: 3,
+			Granularity: core.ObjectCaching, UpdateProb: 0.5,
+			Coherence:           coherence.IRBroadcastStrategy,
+			DisconnectedClients: 4, DisconnectHours: 8,
+		}},
+		{"cooperative", Config{
+			Seed: 12, Days: 0.05, NumClients: 8,
+			Granularity: core.HybridCaching, UpdateProb: 0.2,
+			CoopPeers: 3,
+		}},
+		{"cooperative-faults", Config{
+			Seed: 13, Days: 0.05, NumClients: 10, Cells: 2,
+			Granularity: core.AttributeCaching, UpdateProb: 0.2,
+			CoopPeers: 4, LossRate: 0.15, CorruptRate: 0.05,
+		}},
+		{"irb-coop-combined", Config{
+			Seed: 14, Days: 0.05, NumClients: 8,
+			Granularity: core.HybridCaching, UpdateProb: 0.3,
+			Coherence: coherence.IRBroadcastStrategy, CoopPeers: 3,
+			LossRate: 0.1,
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

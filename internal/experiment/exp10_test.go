@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+)
+
+// TestExp10ParityPanel runs a miniature Exp10 grid and checks the report's
+// own acceptance criterion: within the engine-parity panel, each scheme's
+// Proc-engine and SM-engine rows must be identical in every column except
+// the engine name.
+func TestExp10ParityPanel(t *testing.T) {
+	base := Config{Seed: 3, NumObjects: 400, Days: 0.02}
+	rep := exp10(base, []float64{0.1}, [][2]int{{8, 2}})
+
+	if len(rep.Tables) != 3 {
+		t.Fatalf("exp10 produced %d tables, want 3", len(rep.Tables))
+	}
+	parity := rep.Tables[0]
+	if len(parity.Rows) != 6 {
+		t.Fatalf("parity panel has %d rows, want 6 (3 schemes x 2 engines)", len(parity.Rows))
+	}
+	for i := 0; i < len(parity.Rows); i += 2 {
+		proc, sm := parity.Rows[i], parity.Rows[i+1]
+		if proc[0] != sm[0] {
+			t.Fatalf("rows %d/%d pair different schemes: %q vs %q", i, i+1, proc[0], sm[0])
+		}
+		if proc[1] != string(EngineProcs) || sm[1] != string(EngineSM) {
+			t.Fatalf("parity rows mislabeled: %q, %q", proc[1], sm[1])
+		}
+		if !reflect.DeepEqual(proc[2:], sm[2:]) {
+			t.Fatalf("engines disagree for scheme %s:\nproc: %v\nsm:   %v", proc[0], proc, sm)
+		}
+	}
+}
+
+// TestExp10ParallelInvariance pins the determinism guarantee for the new
+// coherence schemes: identical rendered tables with 1 worker and with 8.
+func TestExp10ParallelInvariance(t *testing.T) {
+	base := Config{Seed: 4, NumObjects: 400, Days: 0.02}
+	prev := SetDefaultWorkers(1)
+	defer SetDefaultWorkers(prev)
+	s := exp10(base, []float64{0, 0.2}, [][2]int{{8, 2}})
+	SetDefaultWorkers(8)
+	p := exp10(base, []float64{0, 0.2}, [][2]int{{8, 2}})
+	if s.String() != p.String() {
+		t.Fatalf("Exp10 tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestIRBroadcastMissedUnderBursts is the missed-report edge case: a
+// Gilbert–Elliott outage regime whose mean bad period (400 s) exceeds the
+// IR window (default 5 x 60 s) makes clients miss enough consecutive
+// reports that incremental reconciliation becomes unsound, forcing whole-
+// cache revalidation. Both engines must agree, and the forced-revalidation
+// path must actually fire.
+func TestIRBroadcastMissedUnderBursts(t *testing.T) {
+	cfg := Config{
+		Seed: 9, Days: 0.2, NumClients: 6,
+		Granularity: core.ObjectCaching, UpdateProb: 0.5,
+		Coherence:     coherence.IRBroadcastStrategy,
+		BurstFraction: 0.3, MeanBadSeconds: 400,
+	}
+	assertEngineTwin(t, cfg)
+	res := RunFleet(cfg)
+	if res.IRReports == 0 {
+		t.Fatal("no invalidation reports were broadcast")
+	}
+	if res.IRReportBytes == 0 {
+		t.Fatal("reports were broadcast but no air bytes accounted")
+	}
+	if res.IRMissed == 0 {
+		t.Fatal("burst outages dropped no report receptions — the edge case did not occur")
+	}
+	if res.ForcedRevals == 0 {
+		t.Fatal("reports were missed past the IR window but no cache was force-revalidated")
+	}
+}
+
+// TestCooperativeAccounting sanity-checks the peer-hit bookkeeping on a
+// plain run: cooperation must serve some reads from peers, every peer-
+// served read must also be counted as a query hit source (RecordAccess),
+// and disabling cooperation must zero the counters.
+func TestCooperativeAccounting(t *testing.T) {
+	cfg := Config{
+		Seed: 5, Days: 0.1, NumClients: 8,
+		Granularity: core.HybridCaching, UpdateProb: 0.2,
+		CoopPeers: 3,
+	}
+	res := RunFleet(cfg)
+	if res.PeerHits == 0 {
+		t.Fatal("cooperative run served no reads from peers")
+	}
+	if res.PeerMisses == 0 {
+		t.Fatal("cooperative run had no fall-through reads; scenario too easy to be a test")
+	}
+	off := cfg
+	off.CoopPeers = 0
+	resOff := RunFleet(off)
+	if resOff.PeerHits != 0 || resOff.PeerMisses != 0 {
+		t.Fatalf("cooperation disabled but counters nonzero: hits=%d misses=%d",
+			resOff.PeerHits, resOff.PeerMisses)
+	}
+}

@@ -94,15 +94,17 @@ type cellOutcome struct {
 	upStats          network.FaultStats
 	downStats        network.FaultStats
 
-	server   server.Stats
-	diskSum  float64 // per-node disk utilizations, for the merged mean
-	diskN    int
-	events   uint64
-	bbBytes  uint64
-	bbMsgs   uint64
-	relayHit uint64
-	relayMis uint64
-	relayed  uint64
+	server    server.Stats
+	diskSum   float64 // per-node disk utilizations, for the merged mean
+	diskN     int
+	events    uint64
+	bbBytes   uint64
+	bbMsgs    uint64
+	relayHit  uint64
+	relayMis  uint64
+	relayed   uint64
+	irReports uint64
+	irBytes   uint64
 }
 
 // runFleetCell builds and runs one cell's kernel: a full cluster mirror, the
@@ -167,6 +169,21 @@ func runFleetCell(cfg Config, cell int, schedules []*network.Schedule) cellOutco
 		policy:     policyFactory,
 	}, lo, hi)
 
+	// IR-over-broadcast scales to fleets by running one broadcaster per
+	// cell: it watches writes applied across the cell's whole cluster
+	// mirror (which is exactly what the cell's oracle sees) and reports to
+	// the cell's clients over a dedicated per-cell broadcast channel.
+	var irb *irbState
+	if cfg.Coherence == coherence.IRBroadcastStrategy {
+		window := broadcast.NewUpdateWindow(cfg.IRWindow)
+		for i := 0; i < cluster.NumServers(); i++ {
+			cluster.Node(i).SetWriteObserver(window.Observe)
+		}
+		irCh := network.NewChannel(k, "ir-broadcast", network.WirelessBandwidthBps)
+		irFaults := network.NewFaultModel(faultCfg, 3)
+		irb = startIRBBroadcaster(k, cfg, window, irCh, irFaults, clients, schedules[lo:hi])
+	}
+
 	// Instrumented fleets sample cell 0 only: one registry cannot span
 	// kernels whose virtual clocks advance independently, so the report
 	// shows one representative cell plus its cluster-wide backbone view.
@@ -188,6 +205,9 @@ func runFleetCell(cfg Config, cell int, schedules []*network.Schedule) cellOutco
 		downWait: down.MeanWait(),
 		downMsgs: down.Messages(),
 		events:   k.Steps(),
+	}
+	if irb != nil {
+		out.irReports, out.irBytes = irb.reports, irb.reportBytes
 	}
 	out.upStats, out.downStats = upFaults.Stats(), downFaults.Stats()
 	for i := 0; i < cluster.NumServers(); i++ {
@@ -226,6 +246,10 @@ func mergeFleet(cfg Config, outs []cellOutcome) Result {
 			shed += cl.ShedItems()
 			drops += cl.CacheDrops()
 			bcastReads += cl.BroadcastReads()
+			res.IRMissed += cl.IRBMissed()
+			res.ForcedRevals += cl.ForcedRevalidations()
+			res.PeerHits += cl.PeerHits()
+			res.PeerMisses += cl.PeerMisses()
 			energy += cl.RadioEnergy()
 			issued, _, _, _ := m.Queries()
 			perClient = append(perClient, PerClient{
@@ -253,6 +277,8 @@ func mergeFleet(cfg Config, outs []cellOutcome) Result {
 		res.RelayedReads += out.relayed
 		res.FramesLost += out.upStats.Lost + out.downStats.Lost
 		res.FramesCorrupted += out.upStats.Corrupted + out.downStats.Corrupted
+		res.IRReports += out.irReports
+		res.IRReportBytes += out.irBytes
 	}
 	if probes := srvStats.BufferHits + srvStats.DiskReads; probes > 0 {
 		srvStats.BufferHitRatio = float64(srvStats.BufferHits) / float64(probes)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/client"
+	"repro/internal/coherence"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/server"
@@ -95,6 +96,45 @@ func registerObservables(cfg Config, srv *server.Server, up, down *network.Chann
 		}
 		return total
 	})
+	if cfg.Coherence == coherence.IRBroadcastStrategy {
+		reg.Gauge("clients.ir_reports", func() float64 {
+			var total float64
+			for _, cl := range clients {
+				total += float64(cl.IRBReports())
+			}
+			return total
+		})
+		reg.Gauge("clients.ir_missed", func() float64 {
+			var total float64
+			for _, cl := range clients {
+				total += float64(cl.IRBMissed())
+			}
+			return total
+		})
+		reg.Gauge("clients.forced_reval", func() float64 {
+			var total float64
+			for _, cl := range clients {
+				total += float64(cl.ForcedRevalidations())
+			}
+			return total
+		})
+	}
+	if cfg.CoopPeers > 0 {
+		reg.Gauge("clients.peer_hits", func() float64 {
+			var total float64
+			for _, cl := range clients {
+				total += float64(cl.PeerHits())
+			}
+			return total
+		})
+		reg.Gauge("clients.peer_misses", func() float64 {
+			var total float64
+			for _, cl := range clients {
+				total += float64(cl.PeerMisses())
+			}
+			return total
+		})
+	}
 
 	// Per-client detail: convergence and cache series for each mobile host
 	// (client.N.* and client.N.metrics.*).

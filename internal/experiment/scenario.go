@@ -89,6 +89,20 @@ func (s *Scenario) validate() error {
 		return fmt.Errorf("invalidation reports are cell-wide broadcast, undefined for %d cells: %w",
 			cfg.Cells, ErrConflict)
 	}
+	if cfg.IRWindow > 0 {
+		interval := cfg.ReportInterval
+		if interval == 0 {
+			interval = coherence.DefaultReportInterval
+		}
+		if cfg.IRWindow < interval {
+			return fmt.Errorf("WithIRWindow(%g) shorter than the %g s report interval would drop updates from every report: %w",
+				cfg.IRWindow, interval, ErrConflict)
+		}
+	}
+	if cfg.CoopPeers > 0 && cfg.Granularity == core.NoCache {
+		return fmt.Errorf("WithCooperative(%d) needs caching clients, not NC: %w",
+			cfg.CoopPeers, ErrConflict)
+	}
 	clients := cfg.NumClients
 	if clients == 0 {
 		clients = Defaults(Config{}).NumClients
@@ -429,16 +443,29 @@ func WithBroadcastAttrs(n int) Option {
 
 // --- Coherence --------------------------------------------------------
 
-// WithCoherence selects the coherence strategy.
-func WithCoherence(strategy coherence.Strategy) Option {
+// WithCoherence selects the coherence strategy, either by enum value or
+// by name — WithCoherence(coherence.IRBroadcastStrategy) and
+// WithCoherence("irb") are the same option (names as in coherence.Parse).
+func WithCoherence[T coherence.Strategy | string](strategy T) Option {
 	return func(s *Scenario) error {
-		switch strategy {
-		case coherence.LeaseStrategy, coherence.FixedLeaseStrategy,
-			coherence.InvalidationReportStrategy:
-			s.cfg.Coherence = strategy
+		switch v := any(strategy).(type) {
+		case coherence.Strategy:
+			switch v {
+			case coherence.LeaseStrategy, coherence.FixedLeaseStrategy,
+				coherence.InvalidationReportStrategy, coherence.IRBroadcastStrategy:
+				s.cfg.Coherence = v
+				return nil
+			}
+			return fmt.Errorf("WithCoherence(%d): %w", v, ErrOutOfRange)
+		case string:
+			strat, ok := coherence.Parse(v)
+			if !ok {
+				return fmt.Errorf("WithCoherence(%q): %w", v, ErrOutOfRange)
+			}
+			s.cfg.Coherence = strat
 			return nil
 		}
-		return fmt.Errorf("WithCoherence(%d): %w", strategy, ErrOutOfRange)
+		panic("unreachable")
 	}
 }
 
@@ -465,13 +492,41 @@ func WithFixedLease(seconds float64) Option {
 	}
 }
 
-// WithReportInterval sets the invalidation-report broadcast period.
+// WithReportInterval sets the invalidation-report broadcast period,
+// shared by the legacy reliable-IR scheme and the broadcast-IR scheme.
 func WithReportInterval(seconds float64) Option {
 	return func(s *Scenario) error {
 		if seconds <= 0 {
 			return fmt.Errorf("WithReportInterval(%g): %w", seconds, ErrOutOfRange)
 		}
 		s.cfg.ReportInterval = seconds
+		return nil
+	}
+}
+
+// WithIRWindow sets the broadcast-IR history window W in seconds: each
+// report names the items updated in the last W seconds, so a client
+// silent longer than W must revalidate its whole cache. Used with
+// coherence.IRBroadcastStrategy; must be at least one report interval.
+func WithIRWindow(seconds float64) Option {
+	return func(s *Scenario) error {
+		if seconds <= 0 {
+			return fmt.Errorf("WithIRWindow(%g): %w", seconds, ErrOutOfRange)
+		}
+		s.cfg.IRWindow = seconds
+		return nil
+	}
+}
+
+// WithCooperative enables cooperative client caching: on a connected
+// local miss the client scans up to maxPeers cell peers for a valid
+// cached copy before paying the server round trip (0 disables).
+func WithCooperative(maxPeers int) Option {
+	return func(s *Scenario) error {
+		if maxPeers < 0 {
+			return fmt.Errorf("WithCooperative(%d): %w", maxPeers, ErrOutOfRange)
+		}
+		s.cfg.CoopPeers = maxPeers
 		return nil
 	}
 }

@@ -26,6 +26,41 @@ func TestScenarioDefaults(t *testing.T) {
 	}
 }
 
+// TestScenarioCoherenceNames: WithCoherence accepts strategy names as well
+// as enum values, and the broadcast-IR strategy composes with fleets (only
+// the legacy point-to-point IR scheme is cell-bound).
+func TestScenarioCoherenceNames(t *testing.T) {
+	sc, err := New(
+		WithCoherence("irb"),
+		WithFleet(100, 4),
+		WithIRWindow(600),
+		WithCooperative(3),
+		WithGranularity(core.HybridCaching),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config()
+	if cfg.Coherence != coherence.IRBroadcastStrategy || cfg.IRWindow != 600 ||
+		cfg.CoopPeers != 3 {
+		t.Fatalf("named coherence options not applied: %+v", cfg)
+	}
+	for name, want := range map[string]coherence.Strategy{
+		"lease": coherence.LeaseStrategy,
+		"fixed": coherence.FixedLeaseStrategy,
+		"ir":    coherence.InvalidationReportStrategy,
+		"irb":   coherence.IRBroadcastStrategy,
+	} {
+		sc, err := New(WithCoherence(name))
+		if err != nil {
+			t.Fatalf("WithCoherence(%q): %v", name, err)
+		}
+		if got := sc.Config().Coherence; got != want {
+			t.Fatalf("WithCoherence(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
 func TestScenarioOptionsApply(t *testing.T) {
 	sc, err := New(
 		WithLabel("opts"),
@@ -78,6 +113,13 @@ func TestScenarioValidationErrors(t *testing.T) {
 		{"unknown granularity", []Option{WithGranularity(core.Granularity(99))}, ErrOutOfRange},
 		{"unknown heat", []Option{WithHeat(HeatKind(42))}, ErrOutOfRange},
 		{"unknown coherence", []Option{WithCoherence(coherence.Strategy(9))}, ErrOutOfRange},
+		{"unknown coherence name", []Option{WithCoherence("gossip")}, ErrOutOfRange},
+		{"zero ir window", []Option{WithIRWindow(0)}, ErrOutOfRange},
+		{"negative cooperation", []Option{WithCooperative(-1)}, ErrOutOfRange},
+		{"ir window under report interval", []Option{
+			WithCoherence("irb"), WithReportInterval(60), WithIRWindow(30)}, ErrConflict},
+		{"cooperation without caching", []Option{
+			WithGranularity(core.NoCache), WithCooperative(3)}, ErrConflict},
 		{"bad policy spec", []Option{WithPolicy("no-such-policy")}, ErrBadSpec},
 		{"more cells than clients", []Option{WithFleet(4, 8)}, ErrConflict},
 		{"cells exceed default fleet", []Option{WithCells(64)}, ErrConflict},

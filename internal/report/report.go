@@ -219,6 +219,16 @@ func Markdown(in Input) []byte {
 		fmt.Fprintf(&b, "| retries / timeouts / degraded reads | %d / %d / %d |\n",
 			r.Retries, r.Timeouts, r.DegradedReads)
 	}
+	if r.IRReports > 0 {
+		fmt.Fprintf(&b, "| IR broadcasts | %d reports, %s MB on air |\n",
+			r.IRReports, fnum(float64(r.IRReportBytes)/1e6))
+		fmt.Fprintf(&b, "| IR missed / forced revalidations | %d / %d |\n",
+			r.IRMissed, r.ForcedRevals)
+	}
+	if probes := r.PeerHits + r.PeerMisses; probes > 0 {
+		fmt.Fprintf(&b, "| peer-served reads | %d of %d cooperative lookups |\n",
+			r.PeerHits, probes)
+	}
 	b.WriteString("\n")
 
 	if in.Rep != nil && len(in.Rep.Tables) > 0 {
@@ -295,6 +305,11 @@ func writeTimelines(b *strings.Builder, reg *obs.Registry) {
 		chartLine{"frames lost (up)", windowedRate(reg.Series("uplink.faults.frames_lost"))},
 		chartLine{"frames lost (down)", windowedRate(reg.Series("downlink.faults.frames_lost"))},
 		chartLine{"retries", windowedRate(reg.Series("clients.retries"))})
+
+	chart("Coherence traffic beyond leases: reads served from peer caches and whole-cache revalidations forced by missed invalidation reports.",
+		"Cooperative and broadcast-IR activity", "events/s",
+		chartLine{"peer hits", windowedRate(reg.Series("clients.peer_hits"))},
+		chartLine{"forced revalidations", windowedRate(reg.Series("clients.forced_reval"))})
 
 	chart("Quantiles of the refresh-time estimates the server ships (RT = d-bar + beta*s, §3.2).",
 		"Refresh-time quantiles", "seconds",

@@ -163,6 +163,11 @@ type Server struct {
 	// Nil when disabled: Observe on a nil histogram is a free no-op, so
 	// the reply hot path pays nothing.
 	obsRT *obs.Histogram
+
+	// writeLog, when set, receives every applied attribute write — the feed
+	// for IR-over-broadcast report assembly. Nil when no broadcaster is
+	// attached, so the update path pays one predictable branch.
+	writeLog func(it oodb.Item, now float64)
 }
 
 // reqScratch is one client's reusable request-processing storage.
@@ -225,6 +230,11 @@ func New(cfg Config) *Server {
 
 // Oracle exposes the perfect-knowledge error oracle shared with clients.
 func (s *Server) Oracle() *coherence.Oracle { return s.oracle }
+
+// SetWriteObserver installs fn to be called with every applied attribute
+// write (item, virtual time). The IR-over-broadcast scheme uses this to
+// feed its trailing update window. Pass nil to detach.
+func (s *Server) SetWriteObserver(fn func(it oodb.Item, now float64)) { s.writeLog = fn }
 
 // DB exposes the underlying database (read-only use by the harness).
 func (s *Server) DB() *oodb.Database { return s.db }
@@ -301,6 +311,9 @@ func (s *Server) applyUpdates(now float64, req Request, order []oodb.OID) {
 			seen |= bit
 			s.db.Write(oid, rd.Attr)
 			s.refreshAttr.ObserveWrite(oodb.AttrItem(oid, rd.Attr), now)
+			if s.writeLog != nil {
+				s.writeLog(oodb.AttrItem(oid, rd.Attr), now)
+			}
 		}
 		s.refreshObj.ObserveWrite(oodb.ObjectItem(oid), now)
 	}

@@ -36,11 +36,13 @@ while IFS= read -r dir; do
 done < <(go list -f '{{.Dir}}' ./...)
 
 # Exported-identifier gate for the public API surfaces: internal/obs and
-# internal/report (the registry/report API other tools build on) and
+# internal/report (the registry/report API other tools build on),
 # internal/experiment (the Scenario/option constructor and the fleet
-# engine, the repo's front door). Every exported top-level declaration must
-# carry a doc comment directly above it (same rule go doc applies).
-for dir in internal/obs internal/report internal/experiment; do
+# engine, the repo's front door), and internal/broadcast plus
+# internal/coherence (the scheme catalog docs/COHERENCE.md documents).
+# Every exported top-level declaration must carry a doc comment directly
+# above it (same rule go doc applies).
+for dir in internal/obs internal/report internal/experiment internal/broadcast internal/coherence; do
     for f in "$dir"/*.go; do
         [ -e "$f" ] || continue
         case "$f" in *_test.go) continue ;; esac
