@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # The parallel runner, the kernel handoff discipline, the client's two
-# execution engines, and the federation backbone (exercised concurrently by
-# fleet cells) are the places concurrency lives; keep them race-clean.
+# execution engines, the federation backbone (exercised concurrently by
+# fleet cells), and the live serving layer (concurrent HTTP handlers over
+# shared sessions) are the places concurrency lives; keep them race-clean.
 race:
-	$(GO) test -race ./internal/experiment ./internal/sim ./internal/client ./internal/federation
+	$(GO) test -race ./internal/experiment ./internal/sim ./internal/client ./internal/federation ./internal/serve
 
 # Docs gate: every package must carry a package comment.
 lintdocs:

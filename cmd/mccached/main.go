@@ -1,0 +1,187 @@
+// Command mccached serves the paper's client-cache machinery as a live
+// HTTP/JSON cache service: per-client cache sessions (storage cache +
+// memory buffer, pluggable replacement) over an in-process origin database
+// with adaptive-lease coherence judged on the wall clock.
+//
+// Boot a service and exercise it by hand:
+//
+//	mccached -addr 127.0.0.1:7070 -granularity ac -policy ewma-0.5 &
+//	curl -s -X POST localhost:7070/v1/read \
+//	     -d '{"client":0,"oid":5,"attr":2}' | jq
+//	curl -s localhost:7070/v1/stats | jq
+//
+// Or let the kernel pick a port and learn it from a file (scripts do
+// this; see scripts/livesmoke.sh):
+//
+//	mccached -addr 127.0.0.1:0 -addr-file /tmp/mccached.addr &
+//
+// The endpoint catalog — read/fetch/write/invalidate/renew/lease/stats —
+// is documented in docs/SERVING.md, together with the load-generator twin
+// (cmd/mcload) that replays simulator workloads against a running service.
+// SIGINT/SIGTERM drain in-flight requests before exit and dump a final
+// stats snapshot to stderr.
+//
+// An optional leading "serve" subcommand is accepted (mccached serve
+// -addr ...), mirroring mcsim's subcommand surface.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// serveOpts binds the service flags.
+type serveOpts struct {
+	addr     string
+	addrFile string
+
+	seed        uint64
+	objects     int
+	granularity string
+	policy      string
+	storage     int
+	membuf      int
+	beta        float64
+	lease       float64
+
+	sample       float64
+	opTimeout    time.Duration
+	adminTimeout time.Duration
+	drain        time.Duration
+}
+
+// register declares the flags on fs.
+func (o *serveOpts) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:7070", "listen address (port 0 picks a free one)")
+	fs.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening")
+
+	fs.Uint64Var(&o.seed, "seed", 1, "root seed; derives the origin's relationship topology like mcsim")
+	fs.IntVar(&o.objects, "objects", 0, "database objects (0 = default 2000)")
+	fs.StringVar(&o.granularity, "granularity", "ac", "caching granularity: ac|oc")
+	fs.StringVar(&o.policy, "policy", "ewma-0.5", "replacement policy spec per session")
+	fs.IntVar(&o.storage, "storage", 0, "per-session storage cache in objects (0 = 20% of database)")
+	fs.IntVar(&o.membuf, "membuf", 0, "per-session memory buffer in objects (0 = default 30)")
+	fs.Float64Var(&o.beta, "beta", 0, "lease slack beta in RT = mean + beta*stddev")
+	fs.Float64Var(&o.lease, "lease", 0, "fixed lease duration in seconds (0 = adaptive leases)")
+
+	fs.Float64Var(&o.sample, "sample", 0, "sample serve.* gauges every this many seconds (0 = off)")
+	fs.DurationVar(&o.opTimeout, "op-timeout", serve.DefaultOpTimeout, "per-request timeout for cache operations")
+	fs.DurationVar(&o.adminTimeout, "admin-timeout", serve.DefaultAdminTimeout, "per-request timeout for stats/lease inspection")
+	fs.DurationVar(&o.drain, "drain", serve.DefaultDrainTimeout, "graceful-shutdown drain window")
+}
+
+// storeConfig assembles the serve.Config the flags describe. The origin is
+// seeded through the same derivation mcsim uses, so a service booted with
+// -seed N agrees with `mcload -seed N` on the database topology.
+func (o *serveOpts) storeConfig() (serve.Config, error) {
+	g, err := core.ParseGranularity(o.granularity)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	return serve.Config{
+		Granularity:      g,
+		Policy:           o.policy,
+		NumObjects:       o.objects,
+		StorageObjects:   o.storage,
+		MemBufferObjects: o.membuf,
+		Beta:             o.beta,
+		FixedLease:       o.lease,
+		RelSeed:          experiment.RelSeed(o.seed),
+	}, nil
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	}
+	os.Exit(run(args))
+}
+
+// flagSet builds the flag set for o.
+func flagSet(o *serveOpts) *flag.FlagSet {
+	fs := flag.NewFlagSet("mccached", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mccached [serve] [flags]")
+		fs.PrintDefaults()
+	}
+	o.register(fs)
+	return fs
+}
+
+// run is main minus os.Exit, so tests can drive the full boot path.
+func run(args []string) int {
+	var o serveOpts
+	fs := flagSet(&o)
+	fs.Parse(args)
+
+	cfg, err := o.storeConfig()
+	if err != nil {
+		return fail(err)
+	}
+	st, err := serve.Open("memory", cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	var reg *obs.Registry
+	if o.sample > 0 {
+		reg = obs.New(o.sample)
+		st.Register(reg)
+	}
+	svc := serve.NewService(o.addr, serve.NewHandler(st, serve.HTTPConfig{
+		OpTimeout:    o.opTimeout,
+		AdminTimeout: o.adminTimeout,
+		Reg:          reg,
+	}))
+	addr, err := svc.Listen()
+	if err != nil {
+		return fail(err)
+	}
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(addr+"\n"), 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	ticker := serve.AttachWallClock(reg, 1, serve.InfiniteHorizon)
+	fmt.Fprintf(os.Stderr, "mccached: serving %s granularity=%s policy=%s on http://%s\n",
+		"memory", cfg.Granularity, o.policy, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve() }()
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mccached: %v, draining for up to %s\n", s, o.drain)
+		if err := svc.Shutdown(o.drain); err != nil {
+			fmt.Fprintln(os.Stderr, "mccached: shutdown:", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			return fail(err)
+		}
+	}
+	ticker.Stop()
+
+	snapshot, _ := json.MarshalIndent(st.Stats(), "", "  ")
+	fmt.Fprintf(os.Stderr, "mccached: final stats\n%s\n", snapshot)
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "mccached:", err)
+	return 1
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/serve"
+)
+
+func parseOpts(t *testing.T, args ...string) serveOpts {
+	t.Helper()
+	var o serveOpts
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return o
+}
+
+func TestStoreConfigFromFlags(t *testing.T) {
+	o := parseOpts(t, "-seed", "9", "-objects", "500", "-granularity", "oc",
+		"-policy", "lru", "-storage", "80", "-membuf", "10", "-beta", "1", "-lease", "30")
+	cfg, err := o.storeConfig()
+	if err != nil {
+		t.Fatalf("storeConfig: %v", err)
+	}
+	if cfg.Granularity != core.ObjectCaching || cfg.Policy != "lru" ||
+		cfg.NumObjects != 500 || cfg.StorageObjects != 80 ||
+		cfg.MemBufferObjects != 10 || cfg.Beta != 1 || cfg.FixedLease != 30 {
+		t.Fatalf("storeConfig mismatch: %+v", cfg)
+	}
+	if cfg.RelSeed != experiment.RelSeed(9) {
+		t.Fatal("RelSeed must use the simulator's derivation so topologies agree")
+	}
+	if _, err := serve.Open("memory", cfg); err != nil {
+		t.Fatalf("config does not open a store: %v", err)
+	}
+}
+
+func TestStoreConfigRejectsBadGranularity(t *testing.T) {
+	o := parseOpts(t, "-granularity", "zz")
+	if _, err := o.storeConfig(); err == nil {
+		t.Fatal("bad granularity accepted")
+	}
+	// nc parses as a granularity but the store must refuse it at Open.
+	o = parseOpts(t, "-granularity", "nc")
+	cfg, err := o.storeConfig()
+	if err != nil {
+		t.Fatalf("storeConfig: %v", err)
+	}
+	if _, err := serve.Open("memory", cfg); err == nil {
+		t.Fatal("nc store opened; want ErrUnsupported")
+	}
+}

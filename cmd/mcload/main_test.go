@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func parseOpts(t *testing.T, args ...string) loadOpts {
+	t.Helper()
+	var o loadOpts
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return o
+}
+
+func TestConfigMirrorsMcsimSurface(t *testing.T) {
+	o := parseOpts(t, "-seed", "3", "-days", "0.5", "-clients", "6",
+		"-granularity", "oc", "-kind", "NQ", "-heat", "csh", "-arrival", "bursty",
+		"-update", "0.2", "-beta", "1.5", "-lease", "120")
+	cfg, err := o.config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if cfg.Seed != 3 || cfg.Days != 0.5 || cfg.NumClients != 6 ||
+		cfg.Granularity != core.ObjectCaching || cfg.QueryKind != workload.Navigational ||
+		cfg.Heat != experiment.ChangingSkewedHeat || cfg.Arrival != experiment.BurstyArrival ||
+		cfg.UpdateProb != 0.2 || cfg.Beta != 1.5 {
+		t.Fatalf("config mismatch: %+v", cfg)
+	}
+	if cfg.Coherence != coherence.FixedLeaseStrategy || cfg.FixedLease != 120 {
+		t.Fatal("-lease must select fixed-lease coherence")
+	}
+	if err := serve.ValidateLive(experiment.Defaults(cfg)); err != nil {
+		t.Fatalf("flag surface built an unreplayable config: %v", err)
+	}
+}
+
+func TestQuickDefaults(t *testing.T) {
+	o := parseOpts(t, "-quick")
+	cfg, err := o.config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if cfg.Days != 0.06 || cfg.NumClients != 4 || cfg.NumObjects != 400 {
+		t.Fatalf("quick defaults %+v; want the smoke scale", cfg)
+	}
+	// Explicit flags beat the quick defaults.
+	o = parseOpts(t, "-quick", "-days", "0.1", "-clients", "2")
+	cfg, _ = o.config()
+	if cfg.Days != 0.1 || cfg.NumClients != 2 {
+		t.Fatalf("explicit flags overridden by -quick: %+v", cfg)
+	}
+}
+
+func TestConfigRejectsBadEnums(t *testing.T) {
+	for _, args := range [][]string{
+		{"-granularity", "zz"},
+		{"-kind", "XX"},
+		{"-heat", "flat"},
+		{"-arrival", "never"},
+	} {
+		o := parseOpts(t, args...)
+		if _, err := o.config(); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunRejectsUnreachableService(t *testing.T) {
+	// No service on this port: run must fail fast with exit code 1, not
+	// hang — the first probe's connection error aborts the replay.
+	if code := run([]string{"-url", "http://127.0.0.1:1", "-quick", "-days", "0.001"}); code != 1 {
+		t.Fatalf("run against a dead port returned %d; want 1", code)
+	}
+}

@@ -548,24 +548,10 @@ func buildClients(env clientEnv, lo, hi int) ([]*client.Client, []*metrics.Clien
 	clients := make([]*client.Client, 0, hi-lo)
 	clientMetrics := make([]*metrics.Client, 0, hi-lo)
 	for i := lo; i < hi; i++ {
-		heat := buildHeat(cfg, i)
-		gen := workload.NewQueryGen(workload.QueryGenConfig{
-			Kind:          cfg.QueryKind,
-			Heat:          heat,
-			DB:            env.db,
-			Selectivity:   cfg.Selectivity,
-			AttrsPerObj:   cfg.AttrsPerObj,
-			AttrSkewTheta: cfg.AttrSkewTheta,
-		})
-		var arrival workload.Arrival
-		switch cfg.Arrival {
-		case PoissonArrival:
-			arrival = workload.NewPoisson(cfg.PoissonRate)
-		case BurstyArrival:
-			arrival = workload.NewDefaultBursty()
-		default:
-			panic(fmt.Sprintf("experiment: unknown arrival kind %d", cfg.Arrival))
-		}
+		// The workload substreams come from the shared twin constructor so
+		// live replay (internal/serve) sees the exact same draws.
+		w := NewClientWorkload(cfg, env.db, i)
+		gen, arrival := w.Gen, w.Arrival
 		m := &metrics.Client{Warmup: cfg.WarmupDays * workload.SecondsPerDay}
 		clientMetrics = append(clientMetrics, m)
 

@@ -56,6 +56,12 @@ type Manifest struct {
 	// regenerate the same tables. Manifests from before this field default
 	// to false; replays fall back to scanning Command for "-quick".
 	Quick bool `json:"quick,omitempty"`
+	// Live records that the measurements come from a live replay over real
+	// sockets (cmd/mcload against a running mccached) rather than the
+	// simulator; response times are then wall-clock HTTP service times and
+	// are not comparable to simulated channel-bound response times
+	// (docs/SERVING.md).
+	Live bool `json:"live,omitempty"`
 	// Seed is the root RNG seed of the instrumented run.
 	Seed uint64 `json:"seed"`
 	// GitRevision is the source revision ("unknown" outside a checkout).
@@ -181,6 +187,11 @@ func Markdown(in Input) []byte {
 	fmt.Fprintf(&b, "# Run report: %s\n\n", in.Manifest.Experiment)
 	fmt.Fprintf(&b, "Reproduce with `%s` (seed %d). Environment details are in `manifest.json`.\n\n",
 		in.Manifest.Command, in.Manifest.Seed)
+	if in.Manifest.Live {
+		b.WriteString("**Live replay:** measurements come from real HTTP round trips against " +
+			"a running `mccached`, not the simulator. Response times are wall-clock " +
+			"service times (see `docs/SERVING.md`).\n\n")
+	}
 
 	b.WriteString("## Instrumented run\n\n")
 	b.WriteString("| parameter | value |\n|---|---|\n")

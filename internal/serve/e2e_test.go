@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+// hitRatioTolerance bounds the sim-vs-live hit-ratio gap the end-to-end
+// test accepts. The replay reuses the simulator's exact workload draws, so
+// the residual gap comes only from the update-coin stream (private per
+// client instead of the simulated server's shared stream) and wall-clock
+// jitter in lease expiry — both small against the ~0.5-0.8 hit ratios the
+// configs below produce.
+const hitRatioTolerance = 0.08
+
+// e2eConfig is a short AC scenario: ~52 queries per client over 0.06
+// virtual days, 4 clients, 10% update probability.
+func e2eConfig() experiment.Config {
+	return experiment.Config{
+		Seed:        7,
+		NumClients:  4,
+		NumObjects:  400,
+		Days:        0.06,
+		WarmupDays:  0.01,
+		Granularity: core.AttributeCaching,
+		UpdateProb:  0.1,
+	}
+}
+
+// TestLiveReplayMatchesSimulator is the tentpole's acceptance test: boot
+// the HTTP service on a loopback port, replay the same scenario the
+// simulator runs, and require the live hit ratio to land within
+// hitRatioTolerance of the simulated one.
+func TestLiveReplayMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock replay")
+	}
+	cfg := e2eConfig()
+
+	sc, err := StoreConfig(cfg)
+	if err != nil {
+		t.Fatalf("StoreConfig: %v", err)
+	}
+	st, err := Open("memory", sc)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	svc := NewService("127.0.0.1:0", NewHandler(st, HTTPConfig{}))
+	addr, err := svc.Listen()
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go svc.Serve()
+	defer svc.Shutdown(0)
+
+	live, err := Replay(context.Background(), ReplayConfig{
+		BaseURL: "http://" + addr,
+		Config:  cfg,
+		Speedup: 1500, // 0.06 days ~ 3.5s of wall time
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	sim := experiment.Run(cfg)
+
+	t.Logf("sim: hit=%.4f err=%.4f queries=%d", sim.HitRatio, sim.ErrorRate, sim.QueriesIssued)
+	t.Logf("live: hit=%.4f stale=%.4f err=%.4f queries=%d lag=%.1fvs wall=%.2fs",
+		live.HitRatio, live.StaleRate, live.ErrorRate, live.Queries, live.MaxLagVirtual, live.WallSeconds)
+
+	if live.Queries == 0 || live.Reads == 0 {
+		t.Fatalf("replay issued no measured work: %+v", live)
+	}
+	if diff := math.Abs(live.HitRatio - sim.HitRatio); diff > hitRatioTolerance {
+		t.Fatalf("live hit ratio %.4f vs simulated %.4f: |diff| %.4f exceeds tolerance %.2f",
+			live.HitRatio, sim.HitRatio, diff, hitRatioTolerance)
+	}
+	// Coarser sanity on the error side: both should be small and of the
+	// same magnitude; an always-stale or never-expiring live store fails
+	// the hit-ratio gate long before this.
+	if live.ErrorRate > sim.ErrorRate+hitRatioTolerance {
+		t.Fatalf("live error rate %.4f vs simulated %.4f", live.ErrorRate, sim.ErrorRate)
+	}
+}
+
+func TestValidateLiveRejections(t *testing.T) {
+	base := e2eConfig()
+	cases := []struct {
+		name string
+		mod  func(*experiment.Config)
+	}{
+		{"nc granularity", func(c *experiment.Config) { c.Granularity = core.NoCache }},
+		{"invalidation coherence", func(c *experiment.Config) { c.Coherence = coherence.InvalidationReportStrategy }},
+		{"multi-cell", func(c *experiment.Config) { c.Cells = 4 }},
+		{"disconnection", func(c *experiment.Config) { c.DisconnectedClients = 1 }},
+		{"lossy channel", func(c *experiment.Config) { c.LossRate = 0.1 }},
+		{"cooperative", func(c *experiment.Config) { c.CoopPeers = 2 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		if err := ValidateLive(cfg); err == nil {
+			t.Errorf("%s: accepted; want ErrUnsupported", tc.name)
+		}
+	}
+	if err := ValidateLive(base); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}
+
+func TestReplayRejectsBadTarget(t *testing.T) {
+	if _, err := Replay(context.Background(), ReplayConfig{Config: e2eConfig()}); err == nil {
+		t.Fatal("replay without a base URL accepted")
+	}
+	cfg := e2eConfig()
+	cfg.Cells = 2
+	if _, err := Replay(context.Background(), ReplayConfig{BaseURL: "http://x", Config: cfg}); err == nil {
+		t.Fatal("unsupported config accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/oodb"
+)
+
+func newTestHandler(t *testing.T, gran core.Granularity) (http.Handler, Store) {
+	t.Helper()
+	st, err := Open("memory", Config{Granularity: gran, NumObjects: 200, FixedLease: 60})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return NewHandler(st, HTTPConfig{}), st
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body, dst any) *http.Response {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if dst != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPEndpointRoundTrips(t *testing.T) {
+	handler, _ := newTestHandler(t, core.AttributeCaching)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	c := ts.Client()
+
+	// Miss, then serve, then hit.
+	var read ReadResponse
+	postJSON(t, c, ts.URL+"/v1/read", ReadRequest{Client: 0, OID: 5, Attr: 2}, &read)
+	if read.State != "miss" || !read.FromOrigin {
+		t.Fatalf("first read %+v; want served miss", read)
+	}
+	postJSON(t, c, ts.URL+"/v1/read", ReadRequest{Client: 0, OID: 5, Attr: 2}, &read)
+	if read.State != "hit" {
+		t.Fatalf("second read %+v; want hit", read)
+	}
+
+	// Write bumps the version; the resident copy becomes an erroneous hit.
+	var write WriteResponse
+	postJSON(t, c, ts.URL+"/v1/write", WriteRequest{OID: 5, Attrs: []uint8{2}}, &write)
+	if write.Version == 0 {
+		t.Fatalf("write response %+v; want nonzero version", write)
+	}
+	postJSON(t, c, ts.URL+"/v1/read", ReadRequest{Client: 0, OID: 5, Attr: 2, Mode: "probe"}, &read)
+	if read.State != "hit" || !read.Error {
+		t.Fatalf("post-write probe %+v; want erroneous hit", read)
+	}
+
+	// Fetch installs fresh copies (dedup on the wire).
+	var fetch FetchResponse
+	postJSON(t, c, ts.URL+"/v1/fetch", FetchRequest{
+		Client: 0,
+		Reads:  []WireRead{{OID: 5, Attr: 2}, {OID: 5, Attr: 2}, {OID: 6, Attr: 0}},
+	}, &fetch)
+	if len(fetch.Items) != 2 {
+		t.Fatalf("fetch installed %d items; want 2 after dedup", len(fetch.Items))
+	}
+
+	// Lease inspection sees the refreshed copy.
+	var lease LeaseResponse
+	resp, err := c.Get(fmt.Sprintf("%s/v1/lease?client=0&oid=5&attr=2", ts.URL))
+	if err != nil {
+		t.Fatalf("GET lease: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatalf("decode lease: %v", err)
+	}
+	resp.Body.Close()
+	if !lease.Cached || !lease.Valid || lease.Version != write.Version {
+		t.Fatalf("lease %+v; want valid at version %d", lease, write.Version)
+	}
+
+	// Renew refreshes in place.
+	var renewed LeaseResponse
+	postJSON(t, c, ts.URL+"/v1/renew", InvalidateRequest{Client: 0, OID: 5, Attr: 2}, &renewed)
+	if !renewed.Cached || !renewed.Valid {
+		t.Fatalf("renew %+v; want valid lease", renewed)
+	}
+
+	// Invalidate drops the whole object across sessions.
+	var inv InvalidateResponse
+	postJSON(t, c, ts.URL+"/v1/invalidate", InvalidateRequest{Client: -1, OID: 5, Attr: 255}, &inv)
+	if inv.Removed == 0 {
+		t.Fatalf("invalidate removed %d; want > 0", inv.Removed)
+	}
+	postJSON(t, c, ts.URL+"/v1/read", ReadRequest{Client: 0, OID: 5, Attr: 2, Mode: "probe"}, &read)
+	if read.State != "miss" {
+		t.Fatalf("post-invalidate probe %+v; want miss", read)
+	}
+
+	// Stats and health.
+	resp, err = c.Get(ts.URL + "/v1/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET stats: %v (%v)", err, resp.Status)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if stats.Backend != "memory" || stats.Reads == 0 {
+		t.Fatalf("stats %+v; want memory backend with reads recorded", stats)
+	}
+	resp, err = c.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET healthz: %v (%v)", err, resp.Status)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	handler, _ := newTestHandler(t, core.ObjectCaching)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	c := ts.Client()
+
+	cases := []struct {
+		name string
+		do   func() *http.Response
+	}{
+		{"bad JSON", func() *http.Response {
+			resp, err := c.Post(ts.URL+"/v1/read", "application/json", bytes.NewReader([]byte("{nope")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}},
+		{"unknown field", func() *http.Response {
+			resp, err := c.Post(ts.URL+"/v1/read", "application/json", bytes.NewReader([]byte(`{"clientid":3}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}},
+		{"bad mode", func() *http.Response {
+			return postJSON(t, c, ts.URL+"/v1/read", ReadRequest{OID: 1, Mode: "psychic"}, nil)
+		}},
+		{"oid out of range", func() *http.Response {
+			return postJSON(t, c, ts.URL+"/v1/read", ReadRequest{OID: 1 << 20}, nil)
+		}},
+		{"empty write", func() *http.Response {
+			return postJSON(t, c, ts.URL+"/v1/write", WriteRequest{OID: 1}, nil)
+		}},
+		{"bad lease params", func() *http.Response {
+			resp, err := c.Get(ts.URL + "/v1/lease?client=zero&oid=1&attr=0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		}},
+	}
+	for _, tc := range cases {
+		resp := tc.do()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d; want 400", tc.name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPConcurrentReadInvalidate drives the transport end to end from
+// concurrent goroutines — the -race companion to the store-level test.
+func TestHTTPConcurrentReadInvalidate(t *testing.T) {
+	handler, _ := newTestHandler(t, core.AttributeCaching)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	const workers, iters = 6, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := ts.Client()
+			for i := 0; i < iters; i++ {
+				var resp *http.Response
+				if w%3 == 0 {
+					resp = postJSON(t, c, ts.URL+"/v1/invalidate",
+						InvalidateRequest{Client: -1, OID: 42, Attr: 255}, nil)
+				} else {
+					resp = postJSON(t, c, ts.URL+"/v1/read",
+						ReadRequest{Client: w, OID: 42, Attr: uint8(i % 12)}, nil)
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d", w, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// slowStore delays reads so shutdown tests can hold a request in flight.
+type slowStore struct {
+	Store
+	delay time.Duration
+}
+
+func (s slowStore) Read(clientID int, oid oodb.OID, attr oodb.AttrID, mode ReadMode) (ReadResult, error) {
+	time.Sleep(s.delay)
+	return s.Store.Read(clientID, oid, attr, mode)
+}
+
+// TestShutdownDrainsInFlight boots a real Service on a loopback port, parks
+// a slow request in flight, and verifies graceful shutdown completes it
+// while refusing new connections afterwards.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	st, err := Open("memory", Config{Granularity: core.ObjectCaching, NumObjects: 100, FixedLease: 60})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	svc := NewService("127.0.0.1:0", NewHandler(slowStore{Store: st, delay: 150 * time.Millisecond}, HTTPConfig{}))
+	addr, err := svc.Listen()
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve() }()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/read", "application/json",
+			bytes.NewReader([]byte(`{"client":0,"oid":1,"attr":0}`)))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // request is now sleeping in slowStore
+
+	if err := svc.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if status := <-inflight; status != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d; want 200 (drained, not dropped)", status)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown; want nil", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestHandlerRegistersLatency exercises the instrumented path.
+func TestHandlerRegistersLatency(t *testing.T) {
+	st, err := Open("memory", Config{Granularity: core.ObjectCaching, NumObjects: 100})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	reg := obs.New(0.001) // sample every millisecond of wall time at scale 1
+	handler := NewHandler(st, HTTPConfig{Reg: reg})
+	st.Register(reg)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/read", ReadRequest{Client: 0, OID: 1, Attr: 0}, nil)
+
+	ticker := AttachWallClock(reg, 1, InfiniteHorizon)
+	time.Sleep(20 * time.Millisecond)
+	ticker.Stop()
+	if _, v := reg.Series("serve.reads").Last(); v < 1 {
+		t.Fatalf("serve.reads sampled %v; want >= 1", v)
+	}
+	if reg.Series("serve.http_latency_s") != nil {
+		t.Fatal("histograms must not be sampled as series")
+	}
+	if got := reg.Histograms(); len(got) == 0 {
+		t.Fatal("latency histogram not registered")
+	}
+}

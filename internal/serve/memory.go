@@ -1,0 +1,538 @@
+// memory.go is the in-memory Store backend: the paper's per-client cache
+// (storage cache + memory buffer, pluggable replacement) promoted behind a
+// concurrency-safe API, over an in-process origin database with the
+// adaptive-lease write-history estimators.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/oodb"
+	"repro/internal/replacement"
+	"repro/internal/workload"
+)
+
+// origin is the shared authoritative side: the versioned database, the
+// perfect-knowledge oracle over it, and the two lease estimators (attribute
+// grain and object grain, like the simulator's server). One mutex guards it
+// all — every field reads or writes the same version counters.
+type origin struct {
+	mu      sync.Mutex
+	db      *oodb.Database
+	oracle  *coherence.Oracle
+	attrEst *coherence.RefreshEstimator
+	objEst  *coherence.RefreshEstimator
+}
+
+// session is one client's cache hierarchy: the byte-budgeted storage cache
+// under its private replacement policy and the small memory buffer in front
+// of it — exactly the simulated client's two levels. The mutex makes the
+// pair safe under concurrent requests for the same client ID; replacement
+// policies are not concurrency-safe on their own.
+type session struct {
+	mu     sync.Mutex
+	cache  *core.Cache
+	membuf *buffer.LRU[oodb.Item, core.Entry]
+}
+
+// Memory is the in-memory Store. Per-client state is sharded into sessions
+// (created lazily on first touch), so concurrent clients contend only on
+// the origin and the sessions map, not on each other's caches. Counters are
+// atomics, readable without locks by the stats endpoint and obs gauges.
+type Memory struct {
+	gran       core.Granularity
+	policy     string
+	factory    replacement.Factory
+	storeBytes int
+	memEntries int
+	fixed      float64
+	clock      func() float64
+
+	org origin
+
+	mu       sync.RWMutex
+	sessions map[int]*session
+
+	reads, hits, stales, misses uint64
+	errs, fetches, writes       uint64
+	invalidations, renewals     uint64
+}
+
+// NewMemory builds the in-memory backend. It rejects granularities the live
+// layer cannot carry (NC has nothing to serve from a cache; HC needs the
+// simulator's server-side per-client heat profile) and bad policy specs.
+func NewMemory(cfg Config) (*Memory, error) {
+	switch cfg.Granularity {
+	case core.AttributeCaching, core.ObjectCaching:
+	case core.NoCache, core.HybridCaching:
+		return nil, fmt.Errorf("%w: granularity %s (want ac|oc)", ErrUnsupported, cfg.Granularity)
+	default:
+		return nil, fmt.Errorf("%w: unknown granularity", ErrBadRequest)
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "ewma-0.5"
+	}
+	factory, err := replacement.Parse(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if cfg.NumObjects == 0 {
+		cfg.NumObjects = oodb.DefaultNumObjects
+	}
+	if cfg.StorageObjects == 0 {
+		cfg.StorageObjects = cfg.NumObjects / 5
+	}
+	if cfg.MemBufferObjects == 0 {
+		cfg.MemBufferObjects = 30
+	}
+	db := cfg.DB
+	if db == nil {
+		db = oodb.New(oodb.Config{NumObjects: cfg.NumObjects, RelSeed: cfg.RelSeed})
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	memEntries := cfg.MemBufferObjects
+	if cfg.Granularity.UsesAttributeItems() {
+		memEntries = cfg.MemBufferObjects * oodb.ObjectSize / oodb.AttrSize
+	}
+	m := &Memory{
+		gran:       cfg.Granularity,
+		policy:     cfg.Policy,
+		factory:    factory,
+		storeBytes: cfg.StorageObjects * core.ItemCost(oodb.ObjectItem(0)),
+		memEntries: memEntries,
+		fixed:      cfg.FixedLease,
+		clock:      clock,
+		sessions:   make(map[int]*session),
+	}
+	m.org.db = db
+	m.org.oracle = coherence.NewOracle(db)
+	m.org.attrEst = coherence.NewRefreshEstimator(cfg.Beta)
+	m.org.objEst = coherence.NewRefreshEstimator(cfg.Beta)
+	return m, nil
+}
+
+// Now implements Store.
+func (m *Memory) Now() float64 { return m.clock() }
+
+// session returns clientID's session, creating it on first touch.
+func (m *Memory) session(clientID int) *session {
+	m.mu.RLock()
+	s := m.sessions[clientID]
+	m.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.sessions[clientID]; s == nil {
+		s = &session{
+			cache:  core.NewCache(m.storeBytes, m.factory()),
+			membuf: buffer.NewLRU[oodb.Item, core.Entry](m.memEntries),
+		}
+		m.sessions[clientID] = s
+	}
+	return s
+}
+
+// probe mirrors the simulated client's probeLocal: storage cache first
+// (promoting resident items into the memory buffer), then the memory
+// buffer alone for copies that outlived their storage slot. Caller holds
+// s.mu.
+func (s *session) probe(it oodb.Item, now float64) (core.Entry, core.LookupState) {
+	if e, st := s.cache.Lookup(it, now); st != core.Miss {
+		if _, inMem := s.membuf.Get(it); !inMem {
+			s.membuf.Put(it, *e)
+		}
+		return *e, st
+	}
+	if e, ok := s.membuf.Get(it); ok {
+		if e.ValidAt(now) {
+			return e, core.Hit
+		}
+		return e, core.Stale
+	}
+	return core.Entry{}, core.Miss
+}
+
+// originEntry reads the authoritative version and grants a lease for one
+// cache unit at now.
+func (m *Memory) originEntry(it oodb.Item, now float64) core.Entry {
+	m.org.mu.Lock()
+	defer m.org.mu.Unlock()
+	var version uint64
+	var lease float64
+	if it.IsObject() {
+		version = m.org.db.ObjectVersion(it.OID)
+		lease = leaseFor(m.org.objEst, m.fixed, it, now)
+	} else {
+		version = m.org.db.AttrVersion(it.OID, it.Attr)
+		lease = leaseFor(m.org.attrEst, m.fixed, it, now)
+	}
+	return core.Entry{Version: version, ExpiresAt: now + lease, FetchedAt: now}
+}
+
+// isError consults the oracle under the origin lock.
+func (m *Memory) isError(it oodb.Item, version uint64) bool {
+	m.org.mu.Lock()
+	defer m.org.mu.Unlock()
+	return m.org.oracle.IsError(it, version)
+}
+
+// checkRead validates read coordinates against the origin's schema.
+func (m *Memory) checkRead(oid oodb.OID, attr oodb.AttrID) error {
+	if !m.org.db.ValidOID(oid) {
+		return fmt.Errorf("%w: oid %d out of range", ErrBadRequest, oid)
+	}
+	if !attr.Valid() {
+		return fmt.Errorf("%w: attr %d out of range", ErrBadRequest, attr)
+	}
+	return nil
+}
+
+// Read implements Store. The probe classification and its metrics exactly
+// mirror the simulated client: a Hit may still be an error (a write landed
+// inside the lease — judged by the oracle); misses and expired copies are
+// either reported as-is (ModeProbe) or served fresh from the origin
+// (ModeServe).
+func (m *Memory) Read(clientID int, oid oodb.OID, attr oodb.AttrID, mode ReadMode) (ReadResult, error) {
+	if err := m.checkRead(oid, attr); err != nil {
+		return ReadResult{}, err
+	}
+	it := core.CoverItem(m.gran, oid, attr)
+	s := m.session(clientID)
+	now := m.clock()
+	atomic.AddUint64(&m.reads, 1)
+
+	s.mu.Lock()
+	entry, state := s.probe(it, now)
+	s.mu.Unlock()
+
+	res := ReadResult{Item: it, State: state, Now: now}
+	switch state {
+	case core.Hit:
+		atomic.AddUint64(&m.hits, 1)
+		res.Version = entry.Version
+		res.ExpiresAt = entry.ExpiresAt
+		res.Error = m.isError(it, entry.Version)
+		if res.Error {
+			atomic.AddUint64(&m.errs, 1)
+		}
+		return res, nil
+	case core.Stale:
+		atomic.AddUint64(&m.stales, 1)
+		res.Version = entry.Version
+		res.ExpiresAt = entry.ExpiresAt
+	default:
+		atomic.AddUint64(&m.misses, 1)
+	}
+	if mode == ModeProbe {
+		return res, nil
+	}
+
+	// ModeServe: refresh from the origin and install.
+	fresh := m.originEntry(it, now)
+	s.mu.Lock()
+	s.cache.Insert(it, fresh, now)
+	s.membuf.Put(it, fresh)
+	s.mu.Unlock()
+	atomic.AddUint64(&m.fetches, 1)
+	res.Version = fresh.Version
+	res.ExpiresAt = fresh.ExpiresAt
+	res.Error = false
+	res.FromOrigin = true
+	return res, nil
+}
+
+// Fetch implements Store, mirroring the simulator's reply assembly +
+// installReply pair: reads dedup to distinct cache units in first-seen
+// order, each unit ships the origin version with a lease, and every
+// installed unit lands in both cache levels (nothing here is a prefetch).
+func (m *Memory) Fetch(clientID int, reads []workload.ReadOp) ([]FetchedItem, error) {
+	for _, rd := range reads {
+		if err := m.checkRead(rd.OID, rd.Attr); err != nil {
+			return nil, err
+		}
+	}
+	s := m.session(clientID)
+	now := m.clock()
+
+	units := make([]oodb.Item, 0, len(reads))
+	seen := make(map[oodb.Item]struct{}, len(reads))
+	for _, rd := range reads {
+		it := core.CoverItem(m.gran, rd.OID, rd.Attr)
+		if _, dup := seen[it]; dup {
+			continue
+		}
+		seen[it] = struct{}{}
+		units = append(units, it)
+	}
+
+	out := make([]FetchedItem, 0, len(units))
+	batch := make([]core.BatchEntry, 0, len(units))
+	for _, it := range units {
+		e := m.originEntry(it, now)
+		out = append(out, FetchedItem{Item: it, Version: e.Version, ExpiresAt: e.ExpiresAt})
+		batch = append(batch, core.BatchEntry{Item: it, Entry: e})
+	}
+
+	s.mu.Lock()
+	s.cache.InsertBatch(batch, now)
+	for _, be := range batch {
+		s.membuf.Put(be.Item, be.Entry)
+	}
+	s.mu.Unlock()
+	atomic.AddUint64(&m.fetches, uint64(len(units)))
+	return out, nil
+}
+
+// Write implements Store: one update event at the origin. Attribute writes
+// observe the attribute-grain estimator per attribute; the object-grain
+// estimator observes the event once — the simulator's applyUpdates shape,
+// which keeps inter-write durations (and therefore leases) comparable
+// between sim and live.
+func (m *Memory) Write(oid oodb.OID, attrs []oodb.AttrID) (uint64, error) {
+	if !m.org.db.ValidOID(oid) {
+		return 0, fmt.Errorf("%w: oid %d out of range", ErrBadRequest, oid)
+	}
+	if len(attrs) == 0 {
+		return 0, fmt.Errorf("%w: write names no attributes", ErrBadRequest)
+	}
+	for _, a := range attrs {
+		if !a.Valid() {
+			return 0, fmt.Errorf("%w: attr %d out of range", ErrBadRequest, a)
+		}
+	}
+	now := m.clock()
+	m.org.mu.Lock()
+	defer m.org.mu.Unlock()
+	var seen uint16
+	for _, a := range attrs {
+		bit := uint16(1) << a
+		if seen&bit != 0 {
+			continue
+		}
+		seen |= bit
+		m.org.db.Write(oid, a)
+		m.org.attrEst.ObserveWrite(oodb.AttrItem(oid, a), now)
+		atomic.AddUint64(&m.writes, 1)
+	}
+	m.org.objEst.ObserveWrite(oodb.ObjectItem(oid), now)
+	return m.org.db.ObjectVersion(oid), nil
+}
+
+// units expands an invalidation coordinate into the cache units it covers.
+func (m *Memory) units(oid oodb.OID, attr oodb.AttrID) ([]oodb.Item, error) {
+	if !m.org.db.ValidOID(oid) {
+		return nil, fmt.Errorf("%w: oid %d out of range", ErrBadRequest, oid)
+	}
+	if attr == oodb.WholeObject {
+		if !m.gran.UsesAttributeItems() {
+			return []oodb.Item{oodb.ObjectItem(oid)}, nil
+		}
+		units := make([]oodb.Item, oodb.NumAttrs)
+		for a := range units {
+			units[a] = oodb.AttrItem(oid, oodb.AttrID(a))
+		}
+		return units, nil
+	}
+	if !attr.Valid() {
+		return nil, fmt.Errorf("%w: attr %d out of range", ErrBadRequest, attr)
+	}
+	return []oodb.Item{core.CoverItem(m.gran, oid, attr)}, nil
+}
+
+// Invalidate implements Store.
+func (m *Memory) Invalidate(clientID int, oid oodb.OID, attr oodb.AttrID) (int, error) {
+	units, err := m.units(oid, attr)
+	if err != nil {
+		return 0, err
+	}
+	var targets []*session
+	if clientID < 0 {
+		m.mu.RLock()
+		targets = make([]*session, 0, len(m.sessions))
+		for _, s := range m.sessions {
+			targets = append(targets, s)
+		}
+		m.mu.RUnlock()
+	} else {
+		targets = []*session{m.session(clientID)}
+	}
+	removed := 0
+	for _, s := range targets {
+		s.mu.Lock()
+		for _, it := range units {
+			inCache := s.cache.Remove(it)
+			inMem := s.membuf.Remove(it)
+			if inCache || inMem {
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	atomic.AddUint64(&m.invalidations, uint64(removed))
+	return removed, nil
+}
+
+// leaseInfo snapshots a cached entry without touching replacement state.
+// Caller holds s.mu.
+func leaseInfo(s *session, it oodb.Item, now float64) LeaseInfo {
+	info := LeaseInfo{Now: now}
+	e, ok := s.cache.Peek(it)
+	if !ok {
+		if me, inMem := s.membuf.Peek(it); inMem {
+			e, ok = &me, true
+		}
+	}
+	if !ok {
+		return info
+	}
+	info.Cached = true
+	info.Valid = e.ValidAt(now)
+	info.Version = e.Version
+	info.ExpiresAt = e.ExpiresAt
+	info.Remaining = e.ExpiresAt - now
+	return info
+}
+
+// Lease implements Store.
+func (m *Memory) Lease(clientID int, oid oodb.OID, attr oodb.AttrID) (LeaseInfo, error) {
+	if err := m.checkRead(oid, attr); err != nil {
+		return LeaseInfo{}, err
+	}
+	it := core.CoverItem(m.gran, oid, attr)
+	s := m.session(clientID)
+	now := m.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return leaseInfo(s, it, now), nil
+}
+
+// Renew implements Store: revalidate a resident unit in place — fresh
+// version and lease from the origin, no payload shipped. Absent units stay
+// absent (a renewal is not a fetch).
+func (m *Memory) Renew(clientID int, oid oodb.OID, attr oodb.AttrID) (LeaseInfo, error) {
+	if err := m.checkRead(oid, attr); err != nil {
+		return LeaseInfo{}, err
+	}
+	it := core.CoverItem(m.gran, oid, attr)
+	s := m.session(clientID)
+	now := m.clock()
+
+	s.mu.Lock()
+	_, cached := s.cache.Peek(it)
+	if !cached {
+		_, cached = s.membuf.Peek(it)
+	}
+	s.mu.Unlock()
+	if !cached {
+		return LeaseInfo{Now: now}, nil
+	}
+
+	fresh := m.originEntry(it, now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the lock: a concurrent Invalidate may have won.
+	if _, still := s.cache.Peek(it); still {
+		s.cache.Insert(it, fresh, now)
+	} else if _, still := s.membuf.Peek(it); still {
+		s.membuf.Put(it, fresh)
+	} else {
+		return LeaseInfo{Now: now}, nil
+	}
+	if _, inMem := s.membuf.Peek(it); inMem {
+		s.membuf.Put(it, fresh)
+	}
+	atomic.AddUint64(&m.renewals, 1)
+	return LeaseInfo{
+		Cached:    true,
+		Valid:     fresh.ValidAt(now),
+		Version:   fresh.Version,
+		ExpiresAt: fresh.ExpiresAt,
+		Remaining: fresh.ExpiresAt - now,
+		Now:       now,
+	}, nil
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	st := Stats{
+		Backend:       "memory",
+		Granularity:   m.gran.String(),
+		Policy:        m.policy,
+		Uptime:        m.clock(),
+		Reads:         atomic.LoadUint64(&m.reads),
+		Hits:          atomic.LoadUint64(&m.hits),
+		Stales:        atomic.LoadUint64(&m.stales),
+		Misses:        atomic.LoadUint64(&m.misses),
+		Errors:        atomic.LoadUint64(&m.errs),
+		Fetches:       atomic.LoadUint64(&m.fetches),
+		Writes:        atomic.LoadUint64(&m.writes),
+		Invalidations: atomic.LoadUint64(&m.invalidations),
+		Renewals:      atomic.LoadUint64(&m.renewals),
+	}
+	m.mu.RLock()
+	sessions := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.RUnlock()
+	st.Sessions = len(sessions)
+	for _, s := range sessions {
+		s.mu.Lock()
+		st.CacheItems += s.cache.Len()
+		st.CacheBytes += s.cache.UsedBytes()
+		st.Evictions += s.cache.Evictions()
+		st.Insertions += s.cache.Insertions()
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Register implements Store: cumulative counters as gauges plus pooled
+// cache occupancy, sampled by whatever Ticker the registry is attached to
+// (a WallTicker for live services). Gauges read atomics and take the
+// session locks only for the occupancy aggregates, so sampling never
+// blocks the request path for long.
+func (m *Memory) Register(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	counter := func(name string, p *uint64) {
+		reg.Gauge(name, func() float64 { return float64(atomic.LoadUint64(p)) })
+	}
+	counter("serve.reads", &m.reads)
+	counter("serve.hits", &m.hits)
+	counter("serve.stales", &m.stales)
+	counter("serve.misses", &m.misses)
+	counter("serve.errors", &m.errs)
+	counter("serve.fetches", &m.fetches)
+	counter("serve.writes", &m.writes)
+	counter("serve.invalidations", &m.invalidations)
+	reg.Gauge("serve.hit_ratio", func() float64 {
+		reads := atomic.LoadUint64(&m.reads)
+		if reads == 0 {
+			return 0
+		}
+		return float64(atomic.LoadUint64(&m.hits)) / float64(reads)
+	})
+	reg.Gauge("serve.cache_bytes", func() float64 {
+		return float64(m.Stats().CacheBytes)
+	})
+	reg.Gauge("serve.sessions", func() float64 {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		return float64(len(m.sessions))
+	})
+}

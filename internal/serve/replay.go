@@ -1,0 +1,494 @@
+// replay.go is the load-generator engine behind cmd/mcload: it replays an
+// experiment.Scenario workload — the exact per-client RNG substreams,
+// hot/cold heat distributions, and arrival schedules the simulator would
+// run — over real sockets against a live mccached, under time compression,
+// and measures the same hit/stale/error ratios the simulator reports. The
+// request flow per query mirrors the simulated client: probe every read,
+// apply the update model only if the query goes remote, then fetch the
+// needed items fresh (docs/SERVING.md walks through the correspondence).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/oodb"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DefaultSpeedup is the default time-compression factor: virtual seconds
+// replayed per real second. Lease dynamics are scale-invariant under
+// compression — write inter-arrivals and access gaps shrink by the same
+// factor, so the valid-at-access relation is preserved — as long as HTTP
+// round trips stay well under the compressed arrival gaps.
+const DefaultSpeedup = 600
+
+// ValidateLive reports whether cfg describes a workload the live layer can
+// replay faithfully: a single always-connected cell on perfect channels,
+// lease (or fixed-lease) coherence, and a durable cache granularity.
+// Everything else — broadcast schemes, cooperative caching, disconnection,
+// channel faults — needs simulator machinery with no live counterpart yet.
+func ValidateLive(cfg experiment.Config) error {
+	switch cfg.Granularity {
+	case core.AttributeCaching, core.ObjectCaching:
+	default:
+		return fmt.Errorf("%w: live replay supports granularity ac|oc", ErrUnsupported)
+	}
+	switch cfg.Coherence {
+	case coherence.LeaseStrategy, coherence.FixedLeaseStrategy:
+	default:
+		return fmt.Errorf("%w: live replay supports -coherence lease|fixed", ErrUnsupported)
+	}
+	if cfg.Cells > 1 {
+		return fmt.Errorf("%w: live replay is single-cell", ErrUnsupported)
+	}
+	if cfg.DisconnectedClients > 0 {
+		return fmt.Errorf("%w: live replay has no disconnection windows", ErrUnsupported)
+	}
+	if cfg.LossRate != 0 || cfg.CorruptRate != 0 || cfg.BurstFraction != 0 {
+		return fmt.Errorf("%w: live replay runs on real sockets, not the fault models", ErrUnsupported)
+	}
+	if cfg.CoopPeers > 0 || cfg.BroadcastAttrs > 0 || cfg.ShedThreshold > 0 {
+		return fmt.Errorf("%w: cooperative/broadcast/shedding have no live counterpart", ErrUnsupported)
+	}
+	return nil
+}
+
+// StoreConfig maps a (defaulted) simulation config onto the live store: the
+// same granularity, policy, cache budgets, lease parameters, and — through
+// experiment.NewDatabase — the same relationship topology, so a service
+// booted from the same seed agrees with every replayed client on where
+// navigational queries lead.
+func StoreConfig(cfg experiment.Config) (Config, error) {
+	cfg = experiment.Defaults(cfg)
+	if err := ValidateLive(cfg); err != nil {
+		return Config{}, err
+	}
+	sc := Config{
+		Granularity:      cfg.Granularity,
+		Policy:           cfg.Policy,
+		NumObjects:       cfg.NumObjects,
+		StorageObjects:   cfg.StorageObjects,
+		MemBufferObjects: cfg.MemBufferObjects,
+		Beta:             cfg.Beta,
+		DB:               experiment.NewDatabase(cfg),
+	}
+	if cfg.Coherence == coherence.FixedLeaseStrategy {
+		sc.FixedLease = cfg.FixedLease
+		if sc.FixedLease == 0 {
+			sc.FixedLease = coherence.DefaultFixedLease
+		}
+	}
+	return sc, nil
+}
+
+// ReplayConfig parameterizes one live replay.
+type ReplayConfig struct {
+	// BaseURL is the running mccached, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Config is the scenario to replay (defaulted internally; must pass
+	// ValidateLive).
+	Config experiment.Config
+	// Speedup is the time-compression factor in virtual seconds per real
+	// second (DefaultSpeedup when zero).
+	Speedup float64
+	// HTTPClient overrides the transport (tests); nil builds one with
+	// per-client keep-alive connections.
+	HTTPClient *http.Client
+	// Reg, when enabled, samples live clients.hit_ratio /
+	// clients.error_rate series on the compressed virtual timeline, so
+	// report charts align with the simulator's.
+	Reg *obs.Registry
+}
+
+// LiveResult carries the measurements of one replay. Ratios are computed
+// after the warm-up cutoff, like the simulator's Result.
+type LiveResult struct {
+	// Config is the defaulted scenario that was replayed.
+	Config experiment.Config
+	// Speedup echoes the compression factor used.
+	Speedup float64
+	// WallSeconds is the real time the replay took.
+	WallSeconds float64
+
+	// HitRatio / StaleRate / ErrorRate are post-warmup read ratios; the
+	// stale rate counts probes that found an expired resident copy (all
+	// refetched — the live layer is always connected).
+	HitRatio  float64
+	StaleRate float64
+	ErrorRate float64
+	// MeanRT is the mean wall-clock HTTP service time per query, in real
+	// seconds (probe + write + fetch round trips; excludes pacing waits).
+	// Not comparable in magnitude to the simulator's channel-bound
+	// response times — see docs/SERVING.md.
+	MeanRT float64
+
+	// Queries / QueriesLocal / QueriesRemote count post-warmup queries and
+	// whether they needed the origin.
+	Queries       uint64
+	QueriesLocal  uint64
+	QueriesRemote uint64
+	// Reads / Hits / Stales / Errors are post-warmup read counts.
+	Reads  uint64
+	Hits   uint64
+	Stales uint64
+	Errors uint64
+	// Writes counts update events applied (post-warmup).
+	Writes uint64
+	// HTTPCalls counts requests issued (whole run, warm-up included).
+	HTTPCalls uint64
+	// MaxLagVirtual is the worst scheduling lag in virtual seconds: how
+	// far behind its arrival schedule a client fell (HTTP latency and GC
+	// both show up here). Large lags distort lease dynamics; keep the
+	// speedup low enough that this stays small against arrival gaps.
+	MaxLagVirtual float64
+}
+
+// Result converts the live measurements into the simulator's Result shape,
+// so report.Write renders the same headline tables for both sides of a
+// sim-vs-live diff.
+func (lr LiveResult) Result() experiment.Result {
+	return experiment.Result{
+		Config:        lr.Config,
+		HitRatio:      lr.HitRatio,
+		MeanResponse:  lr.MeanRT,
+		ErrorRate:     lr.ErrorRate,
+		QueriesIssued: lr.Queries,
+		QueriesLocal:  lr.QueriesLocal,
+		QueriesRemote: lr.QueriesRemote,
+	}
+}
+
+// liveAggregate is the shared live-counter block the obs gauges read.
+type liveAggregate struct {
+	reads, hits, errors uint64
+}
+
+// Replay runs the workload against a live service and blocks until the
+// horizon (or ctx) is reached. One goroutine per client; each paces its
+// arrival schedule at Speedup and replays its queries in order.
+func Replay(ctx context.Context, rc ReplayConfig) (LiveResult, error) {
+	cfg := experiment.Defaults(rc.Config)
+	if err := ValidateLive(cfg); err != nil {
+		return LiveResult{}, err
+	}
+	if rc.BaseURL == "" {
+		return LiveResult{}, fmt.Errorf("%w: replay needs a base URL", ErrBadRequest)
+	}
+	speedup := rc.Speedup
+	if speedup <= 0 {
+		speedup = DefaultSpeedup
+	}
+	httpc := rc.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.NumClients + 2,
+			MaxIdleConnsPerHost: cfg.NumClients + 2,
+		}}
+	}
+
+	db := experiment.NewDatabase(cfg)
+	horizon := cfg.Horizon()
+	warmup := cfg.WarmupDays * workload.SecondsPerDay
+
+	var agg liveAggregate
+	var httpCalls uint64
+	if rc.Reg.Enabled() {
+		rc.Reg.Gauge("clients.hit_ratio", func() float64 {
+			reads := atomic.LoadUint64(&agg.reads)
+			if reads == 0 {
+				return 0
+			}
+			return float64(atomic.LoadUint64(&agg.hits)) / float64(reads)
+		})
+		rc.Reg.Gauge("clients.error_rate", func() float64 {
+			reads := atomic.LoadUint64(&agg.reads)
+			if reads == 0 {
+				return 0
+			}
+			return float64(atomic.LoadUint64(&agg.errors)) / float64(reads)
+		})
+		rc.Reg.Gauge("clients.accesses", func() float64 {
+			return float64(atomic.LoadUint64(&agg.reads))
+		})
+	}
+	ticker := AttachWallClock(rc.Reg, speedup, horizon)
+	defer ticker.Stop()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type clientOutcome struct {
+		m      *metrics.Client
+		rt     stats.Welford
+		stales uint64
+		writes uint64
+		remote uint64
+		local  uint64
+		maxLag float64
+		err    error
+	}
+	outcomes := make([]clientOutcome, cfg.NumClients)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.NumClients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out := &outcomes[id]
+			out.m = &metrics.Client{Warmup: warmup}
+			out.err = replayClient(ctx, replayEnv{
+				cfg: cfg, db: db, id: id,
+				baseURL: rc.BaseURL, httpc: httpc,
+				speedup: speedup, horizon: horizon, warmup: warmup,
+				start: start, agg: &agg, httpCalls: &httpCalls,
+			}, out.m, &out.rt, &out.stales, &out.writes, &out.remote, &out.local, &out.maxLag)
+			if out.err != nil {
+				cancel() // one failing client aborts the replay
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	lr := LiveResult{Config: cfg, Speedup: speedup, WallSeconds: time.Since(start).Seconds()}
+	var pooled metrics.Aggregate
+	var rt stats.Welford
+	for i := range outcomes {
+		out := &outcomes[i]
+		if out.err != nil && ctx.Err() == nil {
+			return lr, out.err
+		}
+		if out.err != nil {
+			return lr, fmt.Errorf("serve: replay client %d: %w", i, out.err)
+		}
+		pooled.Merge(out.m)
+		rt.Merge(&out.rt)
+		lr.Stales += out.stales
+		lr.Writes += out.writes
+		lr.QueriesRemote += out.remote
+		lr.QueriesLocal += out.local
+		if out.maxLag > lr.MaxLagVirtual {
+			lr.MaxLagVirtual = out.maxLag
+		}
+	}
+	lr.HitRatio = pooled.HitRatio()
+	lr.ErrorRate = pooled.ErrorRate()
+	lr.MeanRT = rt.Mean()
+	lr.Queries = pooled.Issued
+	lr.Reads = pooled.Hits.Denom
+	lr.Hits = pooled.Hits.Num
+	lr.Errors = pooled.Errs.Num
+	lr.HTTPCalls = atomic.LoadUint64(&httpCalls)
+	if lr.Reads > 0 {
+		lr.StaleRate = float64(lr.Stales) / float64(lr.Reads)
+	}
+	return lr, nil
+}
+
+// replayEnv bundles the immutable per-client replay context.
+type replayEnv struct {
+	cfg       experiment.Config
+	db        *oodb.Database
+	id        int
+	baseURL   string
+	httpc     *http.Client
+	speedup   float64
+	horizon   float64
+	warmup    float64
+	start     time.Time
+	agg       *liveAggregate
+	httpCalls *uint64
+}
+
+// replayClient runs one client's open-loop query stream to the horizon,
+// mirroring the simulated client loop: arrival draw, pacing wait, query
+// draw, probe reads, update model, fetch needs.
+func replayClient(ctx context.Context, env replayEnv, m *metrics.Client,
+	rt *stats.Welford, stales, writes, remote, local *uint64, maxLag *float64) error {
+
+	w := experiment.NewClientWorkload(env.cfg, env.db, env.id)
+	var q workload.Query
+	need := make([]workload.ReadOp, 0, 64)
+	scheduled := 0.0
+	for {
+		scheduled = w.Arrival.Next(w.Stream, scheduled)
+		if scheduled >= env.horizon {
+			return nil
+		}
+		if err := paceUntil(ctx, env.start, scheduled/env.speedup); err != nil {
+			return err
+		}
+		if lag := time.Since(env.start).Seconds()*env.speedup - scheduled; lag > *maxLag {
+			*maxLag = lag
+		}
+		w.Gen.NextInto(w.Stream, &q)
+
+		measured := scheduled >= env.warmup
+		t0 := time.Now()
+		need = need[:0]
+		for _, rd := range q.Reads {
+			var resp ReadResponse
+			if err := env.post("/v1/read", ReadRequest{
+				Client: env.id, OID: uint32(rd.OID), Attr: uint8(rd.Attr), Mode: "probe",
+			}, &resp); err != nil {
+				return err
+			}
+			if resp.State == core.Hit.String() {
+				m.RecordAccess(scheduled, true)
+				m.RecordError(scheduled, resp.Error)
+				atomic.AddUint64(&env.agg.reads, 1)
+				atomic.AddUint64(&env.agg.hits, 1)
+				if resp.Error {
+					atomic.AddUint64(&env.agg.errors, 1)
+				}
+				continue
+			}
+			if resp.State == core.Stale.String() && measured {
+				*stales++
+			}
+			need = append(need, rd)
+		}
+
+		if len(need) > 0 {
+			// The simulated server flips the update coin per distinct
+			// accessed object only when a request reaches it; all
+			// attributes the query read on an updated object are written
+			// as one event.
+			if env.cfg.UpdateProb > 0 {
+				if err := env.applyUpdates(&q, w, measured, writes); err != nil {
+					return err
+				}
+			}
+			var fresh FetchResponse
+			if err := env.post("/v1/fetch", fetchRequest(env.id, need), &fresh); err != nil {
+				return err
+			}
+			for range need {
+				m.RecordAccess(scheduled, false)
+				m.RecordError(scheduled, false)
+				atomic.AddUint64(&env.agg.reads, 1)
+			}
+			if measured {
+				*remote++
+			}
+		} else if measured {
+			*local++
+		}
+
+		elapsed := time.Since(t0).Seconds()
+		m.RecordQuery(scheduled, scheduled+elapsed, len(need) > 0, false)
+		if measured {
+			rt.Add(elapsed)
+		}
+	}
+}
+
+// applyUpdates mirrors the simulated server's update model for one query:
+// distinct accessed objects in first-seen order, a U-probability coin each,
+// and one write event covering the attributes the query read on that
+// object. The coin stream is the client's private update substream — same
+// distribution as the simulator's shared server stream, different sequence
+// (see experiment.ClientWorkload).
+func (env replayEnv) applyUpdates(q *workload.Query, w experiment.ClientWorkload,
+	measured bool, writes *uint64) error {
+
+	seen := make(map[oodb.OID]struct{}, len(q.Reads))
+	for _, rd := range q.Reads {
+		if _, dup := seen[rd.OID]; dup {
+			continue
+		}
+		seen[rd.OID] = struct{}{}
+		if !w.UpdateStream.Bool(env.cfg.UpdateProb) {
+			continue
+		}
+		var attrSeen uint16
+		attrs := make([]uint8, 0, 4)
+		for _, rd2 := range q.Reads {
+			if rd2.OID != rd.OID {
+				continue
+			}
+			bit := uint16(1) << rd2.Attr
+			if attrSeen&bit != 0 {
+				continue
+			}
+			attrSeen |= bit
+			attrs = append(attrs, uint8(rd2.Attr))
+		}
+		var resp WriteResponse
+		if err := env.post("/v1/write", WriteRequest{OID: uint32(rd.OID), Attrs: attrs}, &resp); err != nil {
+			return err
+		}
+		if measured {
+			*writes++
+		}
+	}
+	return nil
+}
+
+// fetchRequest converts a need list to its wire form.
+func fetchRequest(client int, need []workload.ReadOp) FetchRequest {
+	req := FetchRequest{Client: client, Reads: make([]WireRead, len(need))}
+	for i, rd := range need {
+		req.Reads[i] = WireRead{OID: uint32(rd.OID), Attr: uint8(rd.Attr)}
+	}
+	return req
+}
+
+// post issues one JSON round trip against the service.
+func (env replayEnv) post(path string, body, dst any) error {
+	atomic.AddUint64(env.httpCalls, 1)
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("serve: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequest(http.MethodPost, env.baseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("serve: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := env.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("serve: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// paceUntil sleeps until the replay's real-time deadline for a virtual
+// timestamp, honoring ctx cancellation.
+func paceUntil(ctx context.Context, start time.Time, realOffset float64) error {
+	deadline := start.Add(time.Duration(realOffset * float64(time.Second)))
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,110 @@
+// ticker.go adapts the wall clock to the obs.Ticker interface, so the
+// existing instrument registry — built for the simulation clock — samples a
+// live service on real elapsed time without any registry changes.
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WallTicker implements obs.Ticker on the wall clock. Now returns scaled
+// seconds since construction; After schedules callbacks on real timers.
+// Callbacks run serialized under an internal mutex and never after Stop
+// returns, which is the happens-before edge that makes reading the sampled
+// series safe once the ticker is stopped.
+//
+// Scale maps real seconds to ticker seconds: a live service uses scale 1
+// (registry timestamps are real seconds of uptime); the load generator uses
+// its time-compression factor so its registry timestamps land on the
+// virtual timeline and its report charts align with the simulator's.
+type WallTicker struct {
+	scale float64
+	start time.Time
+
+	// mu guards stopped and timers; cbMu serializes callbacks. They are
+	// separate because a callback may itself call After (the registry's
+	// sampler reschedules its next tick from inside the current one).
+	mu      sync.Mutex
+	cbMu    sync.Mutex
+	stopped bool
+	timers  map[*time.Timer]struct{}
+}
+
+// NewWallTicker starts a ticker at scale ticker-seconds per real second
+// (0 selects 1).
+func NewWallTicker(scale float64) *WallTicker {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &WallTicker{
+		scale:  scale,
+		start:  time.Now(),
+		timers: make(map[*time.Timer]struct{}),
+	}
+}
+
+// Now implements obs.Ticker: scaled seconds since construction.
+func (t *WallTicker) Now() float64 {
+	return time.Since(t.start).Seconds() * t.scale
+}
+
+// After implements obs.Ticker: fn runs after d ticker-seconds of real time
+// (d / scale real seconds), serialized with every other callback, unless
+// the ticker is stopped first.
+func (t *WallTicker) After(d float64, fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	var timer *time.Timer
+	timer = time.AfterFunc(time.Duration(d/t.scale*float64(time.Second)), func() {
+		t.cbMu.Lock()
+		defer t.cbMu.Unlock()
+		t.mu.Lock()
+		delete(t.timers, timer)
+		stopped := t.stopped
+		t.mu.Unlock()
+		if stopped {
+			return
+		}
+		fn()
+	})
+	t.timers[timer] = struct{}{}
+}
+
+// Stop cancels pending callbacks. After Stop returns no callback is running
+// or will run, so the caller may read sampled series without racing the
+// sampler.
+func (t *WallTicker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	for timer := range t.timers {
+		timer.Stop()
+	}
+	t.timers = nil
+	t.mu.Unlock()
+	// Drain any callback already past its timer: once we hold cbMu, no
+	// callback body is running and none will start.
+	t.cbMu.Lock()
+	defer t.cbMu.Unlock()
+}
+
+// AttachWallClock attaches reg's sampler to a new WallTicker covering
+// horizon ticker-seconds (math.Inf(1) samples until Stop) and returns the
+// ticker. The registry must have been built with an explicit interval when
+// the horizon is infinite.
+func AttachWallClock(reg *obs.Registry, scale, horizon float64) *WallTicker {
+	t := NewWallTicker(scale)
+	if reg.Enabled() {
+		reg.Attach(t, horizon)
+	}
+	return t
+}
+
+// InfiniteHorizon is a convenience alias for an unbounded sampling horizon.
+var InfiniteHorizon = math.Inf(1)

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestWallTickerNowScales(t *testing.T) {
+	tk := NewWallTicker(100)
+	time.Sleep(10 * time.Millisecond)
+	if now := tk.Now(); now < 0.5 {
+		t.Fatalf("Now() = %v after 10ms at scale 100; want >= 0.5 ticker-seconds", now)
+	}
+	tk.Stop()
+}
+
+func TestWallTickerAfterFiresAndReschedules(t *testing.T) {
+	tk := NewWallTicker(1000) // 1000 ticker-seconds per real second
+	var mu sync.Mutex
+	fired := 0
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		fired++
+		n := fired
+		mu.Unlock()
+		if n < 3 {
+			tk.After(1, tick) // reschedule from inside the callback
+		}
+	}
+	tk.After(1, tick) // 1 ticker-second = 1ms real
+	deadline := time.After(time.Second)
+	for {
+		mu.Lock()
+		n := fired
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("fired %d times within 1s; want 3", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	tk.Stop()
+}
+
+func TestWallTickerStopPreventsCallbacks(t *testing.T) {
+	tk := NewWallTicker(1)
+	var mu sync.Mutex
+	fired := false
+	tk.After(0.005, func() {
+		mu.Lock()
+		fired = true
+		mu.Unlock()
+	})
+	tk.Stop()
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired {
+		t.Fatal("callback ran after Stop")
+	}
+	tk.After(0.001, func() { t.Error("After on a stopped ticker scheduled a callback") })
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestAttachWallClockSamplesRegistry(t *testing.T) {
+	reg := obs.New(0.002) // one sample per 2ms at scale 1
+	var n int64
+	reg.Gauge("test.gauge", func() float64 { n++; return float64(n) })
+	tk := AttachWallClock(reg, 1, InfiniteHorizon)
+	time.Sleep(25 * time.Millisecond)
+	tk.Stop()
+	if _, v := reg.Series("test.gauge").Last(); v < 2 {
+		t.Fatalf("gauge sampled %v times; want repeated sampling", v)
+	}
+	// Disabled registry: AttachWallClock must still return a usable ticker.
+	tk2 := AttachWallClock(nil, 1, InfiniteHorizon)
+	if tk2.Now() < 0 {
+		t.Fatal("ticker clock went backwards")
+	}
+	tk2.Stop()
+}

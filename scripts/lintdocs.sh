@@ -38,11 +38,13 @@ done < <(go list -f '{{.Dir}}' ./...)
 # Exported-identifier gate for the public API surfaces: internal/obs and
 # internal/report (the registry/report API other tools build on),
 # internal/experiment (the Scenario/option constructor and the fleet
-# engine, the repo's front door), and internal/broadcast plus
-# internal/coherence (the scheme catalog docs/COHERENCE.md documents).
-# Every exported top-level declaration must carry a doc comment directly
-# above it (same rule go doc applies).
-for dir in internal/obs internal/report internal/experiment internal/broadcast internal/coherence; do
+# engine, the repo's front door), internal/broadcast plus
+# internal/coherence (the scheme catalog docs/COHERENCE.md documents), and
+# the live serving layer — internal/serve and the mccached/mcload binaries
+# (the endpoint catalog docs/SERVING.md documents). Every exported
+# top-level declaration must carry a doc comment directly above it (same
+# rule go doc applies).
+for dir in internal/obs internal/report internal/experiment internal/broadcast internal/coherence internal/serve cmd/mccached cmd/mcload; do
     for f in "$dir"/*.go; do
         [ -e "$f" ] || continue
         case "$f" in *_test.go) continue ;; esac

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# livesmoke.sh — loopback live-replay smoke: build mccached and mcload, boot
+# the service on an ephemeral loopback port, replay the quick scenario
+# against it, and verify the report artifacts landed. CI runs this after
+# the unit suites; run it locally as `scripts/livesmoke.sh [outdir]`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-liveout}"
+seed=7
+workdir="$(mktemp -d)"
+server_pid=""
+
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/mccached" ./cmd/mccached
+go build -o "$workdir/mcload" ./cmd/mcload
+
+# Boot on port 0 and learn the kernel-assigned address from -addr-file.
+# The service flags must mirror the replay's config: same seed, objects,
+# granularity (mcload -quick replays 400 objects under AC).
+"$workdir/mccached" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -seed "$seed" -objects 400 -granularity ac &
+server_pid=$!
+
+for _ in $(seq 1 50); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "livesmoke: mccached died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -s "$workdir/addr" ] || { echo "livesmoke: no bound address after 5s" >&2; exit 1; }
+addr="$(cat "$workdir/addr")"
+
+"$workdir/mcload" -url "http://$addr" -quick -seed "$seed" -speedup 1500 \
+    -compare -report "$outdir"
+
+for f in manifest.json report.md; do
+    [ -s "$outdir/$f" ] || { echo "livesmoke: missing $outdir/$f" >&2; exit 1; }
+done
+grep -q '"live": true' "$outdir/manifest.json" \
+    || { echo "livesmoke: manifest not flagged live" >&2; exit 1; }
+
+echo "livesmoke: OK (report in $outdir)"
