@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,7 @@ import (
 type serveOpts struct {
 	addr     string
 	addrFile string
+	backend  string
 
 	seed        uint64
 	objects     int
@@ -64,6 +66,8 @@ type serveOpts struct {
 func (o *serveOpts) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:7070", "listen address (port 0 picks a free one)")
 	fs.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	fs.StringVar(&o.backend, "backend", "memory",
+		"store backend DSN: memory, or file:/path/cache.db?sync=group|always|none (persistent, recovers on restart)")
 
 	fs.Uint64Var(&o.seed, "seed", 1, "root seed; derives the origin's relationship topology like mcsim")
 	fs.IntVar(&o.objects, "objects", 0, "database objects (0 = default 2000)")
@@ -129,7 +133,7 @@ func run(args []string) int {
 	if err != nil {
 		return fail(err)
 	}
-	st, err := serve.Open("memory", cfg)
+	st, err := serve.Open(o.backend, cfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -155,7 +159,7 @@ func run(args []string) int {
 	}
 	ticker := serve.AttachWallClock(reg, 1, serve.InfiniteHorizon)
 	fmt.Fprintf(os.Stderr, "mccached: serving %s granularity=%s policy=%s on http://%s\n",
-		"memory", cfg.Granularity, o.policy, addr)
+		st.Stats().Backend, cfg.Granularity, o.policy, addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -178,6 +182,13 @@ func run(args []string) int {
 
 	snapshot, _ := json.MarshalIndent(st.Stats(), "", "  ")
 	fmt.Fprintf(os.Stderr, "mccached: final stats\n%s\n", snapshot)
+	// Persistent backends flush their log on close so a clean shutdown
+	// leaves no torn tail to truncate at the next boot.
+	if c, ok := st.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return fail(err)
+		}
+	}
 	return 0
 }
 

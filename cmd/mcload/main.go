@@ -257,6 +257,13 @@ func printLive(lr serve.LiveResult) {
 	fmt.Printf("queries        %d (local %d, remote %d)\n", lr.Queries, lr.QueriesLocal, lr.QueriesRemote)
 	fmt.Printf("reads          %d (%d hits, %d stale, %d errors)\n", lr.Reads, lr.Hits, lr.Stales, lr.Errors)
 	fmt.Printf("updates        %d events over %d HTTP calls\n", lr.Writes, lr.HTTPCalls)
+	if lr.Backend != "" {
+		fmt.Printf("backend        %s (%s", lr.Backend, lr.BackendDSN)
+		if lr.DiskBytes > 0 {
+			fmt.Printf(", %d bytes on disk", lr.DiskBytes)
+		}
+		fmt.Printf(")\n")
+	}
 }
 
 // printDiff renders the sim-vs-live comparison table.

@@ -17,11 +17,14 @@ import (
 // `mcsim run` and the legacy flag surface onto a FlagSet, one definition
 // for both. Defaults mirror the paper's Table 1 settings.
 type simOpts struct {
-	days    float64
-	seed    uint64
-	clients int
-	objects int
-	engine  string
+	days     float64
+	seed     uint64
+	clients  int
+	objects  int
+	dbsize   int
+	bufratio float64
+	storage  string
+	engine   string
 
 	granularity string
 	policy      string
@@ -61,6 +64,9 @@ func (o *simOpts) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&o.seed, "seed", 1, "root random seed")
 	fs.IntVar(&o.clients, "clients", 0, "number of mobile clients (0 = default)")
 	fs.IntVar(&o.objects, "objects", 0, "database objects (0 = default 2000)")
+	fs.IntVar(&o.dbsize, "dbsize", 0, "database size in objects (alias of -objects; Experiment #11's knob)")
+	fs.Float64Var(&o.bufratio, "bufratio", 0, "server buffer as a fraction of the database, 0 < r <= 1 (0 = default 25%)")
+	fs.StringVar(&o.storage, "storage", "", "persistent server tier DSN: file:<dir>[?sync=group|always|none] (empty = modeled disk only)")
 	fs.StringVar(&o.engine, "engine", "", "execution engine: procs|sm (default procs; identical results)")
 
 	fs.StringVar(&o.granularity, "granularity", "hc", "caching granularity: nc|ac|oc|hc")
@@ -95,13 +101,32 @@ func (o *simOpts) register(fs *flag.FlagSet) {
 	fs.Float64Var(&o.backoff, "backoff", 0, "base retry backoff in seconds (0 = default 1)")
 }
 
+// resolveObjects folds -dbsize into -objects; the two are one knob and
+// may not disagree.
+func (o *simOpts) resolveObjects() (int, error) {
+	if o.dbsize != 0 && o.objects != 0 && o.dbsize != o.objects {
+		return 0, fmt.Errorf("-dbsize %d and -objects %d name different database sizes: %w",
+			o.dbsize, o.objects, experiment.ErrConflict)
+	}
+	if o.dbsize != 0 {
+		return o.dbsize, nil
+	}
+	return o.objects, nil
+}
+
 // config assembles the experiment.Config the parsed flags describe.
 func (o *simOpts) config() (experiment.Config, error) {
+	objects, err := o.resolveObjects()
+	if err != nil {
+		return experiment.Config{}, err
+	}
 	cfg, err := buildConfig(o.granularity, o.policy, o.kind, o.heat, o.arrival,
-		o.change, o.update, o.beta, o.disconnect, o.hours, o.days, o.seed, o.clients, o.objects)
+		o.change, o.update, o.beta, o.disconnect, o.hours, o.days, o.seed, o.clients, objects)
 	if err != nil {
 		return cfg, err
 	}
+	cfg.ServerBufferRatio = o.bufratio
+	cfg.StorageDSN = o.storage
 	if o.engine != "" {
 		switch experiment.Engine(o.engine) {
 		case experiment.EngineProcs, experiment.EngineSM:
@@ -131,13 +156,18 @@ func (o *simOpts) config() (experiment.Config, error) {
 }
 
 // expBase reduces the flags to the sweep base config the experiments
-// inherit: scale, seed, and the channel fault environment.
-func (o *simOpts) expBase() experiment.Config {
+// inherit: scale, seed, storage, and the channel fault environment.
+func (o *simOpts) expBase() (experiment.Config, error) {
+	objects, err := o.resolveObjects()
+	if err != nil {
+		return experiment.Config{}, err
+	}
 	base := experiment.Config{
-		Seed: o.seed, Days: o.days, NumClients: o.clients, NumObjects: o.objects,
+		Seed: o.seed, Days: o.days, NumClients: o.clients, NumObjects: objects,
+		ServerBufferRatio: o.bufratio, StorageDSN: o.storage,
 	}
 	applyFaultFlags(&base, o.loss, o.corrupt, o.burst, o.burstLen, o.retryMax, o.backoff)
-	return base
+	return base, nil
 }
 
 // profileFlags declares the profiling sinks shared by every subcommand.
@@ -287,7 +317,7 @@ func explicitSimFlags(fs *flag.FlagSet) []string {
 // cmdExp implements `mcsim exp <id>`: regenerate experiment tables.
 func cmdExp(args []string) {
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..10, table1, or all; experiments:\n%s",
+		fatal(fmt.Errorf("usage: mcsim exp <id> [flags] — id is 1..11, table1, or all; experiments:\n%s",
 			strings.TrimRight(expCatalogList(), "\n")))
 	}
 	which := args[0]
@@ -297,6 +327,9 @@ func cmdExp(args []string) {
 	seed := fs.Uint64("seed", 1, "root random seed")
 	clients := fs.Int("clients", 0, "number of mobile clients (0 = default)")
 	objects := fs.Int("objects", 0, "database objects (0 = default 2000)")
+	dbsize := fs.Int("dbsize", 0, "database size in objects (alias of -objects; Experiment #11's knob)")
+	bufratio := fs.Float64("bufratio", 0, "server buffer as a fraction of the database, 0 < r <= 1, inherited by every run")
+	storageDSN := fs.String("storage", "", "persistent server tier DSN every run inherits: file:<dir>[?sync=...]")
 	loss := fs.Float64("loss", 0, "per-frame loss probability every run inherits")
 	corrupt := fs.Float64("corrupt", 0, "per-frame corruption probability every run inherits")
 	burst := fs.Float64("burst", 0, "fraction of time in burst outage every run inherits")
@@ -315,11 +348,34 @@ func cmdExp(args []string) {
 	}
 	defer stopProfiling()
 
-	base := experiment.Config{Seed: *seed, Days: *days, NumClients: *clients, NumObjects: *objects}
+	if err := checkQuickStorage(*quick, *storageDSN); err != nil {
+		fatal(err)
+	}
+	o := simOpts{objects: *objects, dbsize: *dbsize}
+	resolvedObjects, err := o.resolveObjects()
+	if err != nil {
+		fatal(err)
+	}
+	base := experiment.Config{
+		Seed: *seed, Days: *days, NumClients: *clients, NumObjects: resolvedObjects,
+		ServerBufferRatio: *bufratio, StorageDSN: *storageDSN,
+	}
 	applyFaultFlags(&base, *loss, *corrupt, *burst, *burstLen, *retryMax, *backoff)
 	if err := runExperiments(which, base, *quick, *reportDir); err != nil {
 		fatal(err)
 	}
+}
+
+// checkQuickStorage rejects -quick together with a file storage tier: the
+// quick grids exist to be fast and hermetic, and a real on-disk tier is
+// neither, so the combination is a named conflict rather than a slow
+// surprise.
+func checkQuickStorage(quick bool, dsn string) error {
+	if quick && dsn != "" {
+		return fmt.Errorf("-quick and -storage %q: quick grids run without a persistent tier: %w",
+			dsn, experiment.ErrConflict)
+	}
+	return nil
 }
 
 // cmdReport implements `mcsim report <dir>`: summarize an archived report

@@ -4,7 +4,7 @@
 // The command surface is three subcommands:
 //
 //	mcsim run [flags]        one configuration (single cell or a fleet)
-//	mcsim exp <id> [flags]   experiment tables: 1..10, table1, or all
+//	mcsim exp <id> [flags]   experiment tables: 1..11, table1, or all
 //	mcsim report <dir>       summarize a report directory; -verify replays it
 //
 // Regenerate a figure (the experiment numbers match §5 of the paper):
@@ -19,6 +19,7 @@
 //	mcsim exp 8           # beyond the paper: fleet scaling (clients x cells)
 //	mcsim exp 9           # beyond the paper: million-client fleets (SM engine)
 //	mcsim exp 10          # beyond the paper: IR broadcast vs cooperative caching
+//	mcsim exp 11          # beyond the paper: database size x server buffer
 //	mcsim exp table1      # Table 1: parameter settings
 //	mcsim exp all         # everything
 //
@@ -99,7 +100,7 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mcsim run [flags]          run one configuration (mcsim run -h for flags)
-  mcsim exp <id> [flags]     regenerate experiments: 1..10, table1, or all
+  mcsim exp <id> [flags]     regenerate experiments: 1..11, table1, or all
   mcsim report <dir> [-verify]  summarize (and optionally replay) a report
   mcsim -run|-exp ...        legacy flag surface, kept for existing scripts
 
@@ -120,7 +121,7 @@ func legacyMain() {
 	}
 	var o simOpts
 	o.register(fs)
-	expFlag := fs.String("exp", "", "experiment to regenerate: 1..10, table1, or all")
+	expFlag := fs.String("exp", "", "experiment to regenerate: 1..11, table1, or all")
 	quick := fs.Bool("quick", false, "reduced-scale pass (1 simulated day, sparser grids)")
 	runOne := fs.Bool("run", false, "run a single custom configuration")
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs for sweeps and -replicas (0 = one per CPU)")
@@ -153,7 +154,14 @@ func legacyMain() {
 			fatal(err)
 		}
 	case *expFlag != "":
-		if err := runExperiments(*expFlag, o.expBase(), *quick, *reportDir); err != nil {
+		if err := checkQuickStorage(*quick, o.storage); err != nil {
+			fatal(err)
+		}
+		base, err := o.expBase()
+		if err != nil {
+			fatal(err)
+		}
+		if err := runExperiments(*expFlag, base, *quick, *reportDir); err != nil {
 			fatal(err)
 		}
 	default:
@@ -249,6 +257,12 @@ func printResult(res experiment.Result) {
 	fmt.Printf("server         %d queries, %d disk reads, buffer hit %.1f%%, %d updates\n",
 		res.Server.QueriesServed, res.Server.DiskReads,
 		100*res.Server.BufferHitRatio, res.Server.UpdatesApplied)
+	if t := res.StorageTier; t.DSN != "" {
+		fmt.Printf("storage tier   %s: %d gets, %d puts, %d errors; %d keys, %d bytes on disk\n",
+			t.DSN, t.Gets, t.Puts, t.Errors, t.Keys, t.DiskBytes)
+		fmt.Printf("tier latency   get p50/p99 %.3g/%.3g ms, put p50/p99 %.3g/%.3g ms (measured)\n",
+			t.GetP50ms, t.GetP99ms, t.PutP50ms, t.PutP99ms)
+	}
 	if res.Config.Cells > 1 {
 		fmt.Printf("fleet          %d cells; backbone %.2f MB in %d messages\n",
 			res.Config.Cells, float64(res.BackboneBytes)/1e6, res.BackboneMessages)
@@ -308,6 +322,7 @@ var expCatalog = []struct{ key, summary string }{
 	{"8", "beyond the paper: fleet scaling (clients x cells x relay cache)"},
 	{"9", "beyond the paper: million-client fleets on the state-machine engine"},
 	{"10", "beyond the paper: IR broadcast vs cooperative caching (loss x fleet)"},
+	{"11", "beyond the paper: database size x server buffer (persistent tier)"},
 	{"table1", "Table 1: parameter settings"},
 	{"all", "every experiment above"},
 }
@@ -325,7 +340,7 @@ func expCatalogList() string {
 // unknownExperiment builds the error for an unrecognized experiment id: the
 // valid range plus one line per experiment.
 func unknownExperiment(which string) error {
-	return fmt.Errorf("unknown experiment %q (want 1..10, table1, all); valid experiments:\n%s",
+	return fmt.Errorf("unknown experiment %q (want 1..11, table1, all); valid experiments:\n%s",
 		which, strings.TrimRight(expCatalogList(), "\n"))
 }
 
@@ -398,6 +413,13 @@ func expJobs(which string, base experiment.Config, quick bool) ([]expJob, error)
 			add("Experiment #10 (coherence schemes head-to-head)", func() fmt.Stringer { return experiment.Exp10(base) })
 		}
 	}
+	if want("11") {
+		if quick {
+			add("Experiment #11 (size x buffer, quick grid)", func() fmt.Stringer { return experiment.Exp11Quick(base) })
+		} else {
+			add("Experiment #11 (size x buffer, persistent tier)", func() fmt.Stringer { return experiment.Exp11(base) })
+		}
+	}
 	if len(jobs) == 0 {
 		return nil, unknownExperiment(which)
 	}
@@ -445,11 +467,11 @@ func runExperiments(which string, base experiment.Config, quick bool, reportDir 
 // runExperimentsRep is runExperiments returning the first table-producing
 // report, which manifest replays hash-check against the archived digests.
 // Quick mode shortens an unset horizon to one day — except for Experiments
-// #8, #9 and #10, whose fleet grids carry their own shorter defaults.
+// #8 through #11, whose grids carry their own shorter defaults.
 func runExperimentsRep(which string, base experiment.Config, quick bool,
 	reportDir string) (*experiment.Report, error) {
 
-	if quick && base.Days == 0 && which != "8" && which != "9" && which != "10" {
+	if quick && base.Days == 0 && which != "8" && which != "9" && which != "10" && which != "11" {
 		base.Days = 1
 	}
 	jobs, err := expJobs(which, base, quick)

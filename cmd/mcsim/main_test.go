@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -80,7 +81,7 @@ func TestRunExperimentsUnknown(t *testing.T) {
 	// The error teaches the valid range: every catalog key with its
 	// one-line summary.
 	msg := err.Error()
-	if !strings.Contains(msg, "want 1..10, table1, all") {
+	if !strings.Contains(msg, "want 1..11, table1, all") {
 		t.Fatalf("error lacks valid range: %v", msg)
 	}
 	for _, e := range expCatalog {
@@ -142,5 +143,57 @@ func TestRunExperimentsReport(t *testing.T) {
 	_, md2 := run()
 	if !bytes.Equal(md, md2) {
 		t.Fatal("same seed produced different report.md bytes")
+	}
+}
+
+func TestQuickStorageConflict(t *testing.T) {
+	if err := checkQuickStorage(true, "file:/tmp/tier"); !errors.Is(err, experiment.ErrConflict) {
+		t.Fatalf("quick + storage = %v, want ErrConflict", err)
+	}
+	if err := checkQuickStorage(true, ""); err != nil {
+		t.Fatalf("quick without storage rejected: %v", err)
+	}
+	if err := checkQuickStorage(false, "file:/tmp/tier"); err != nil {
+		t.Fatalf("storage without quick rejected: %v", err)
+	}
+}
+
+func TestDBSizeFlagAliasesObjects(t *testing.T) {
+	o := simOpts{dbsize: 5000}
+	n, err := o.resolveObjects()
+	if err != nil || n != 5000 {
+		t.Fatalf("resolveObjects = %d, %v", n, err)
+	}
+	o = simOpts{dbsize: 5000, objects: 5000}
+	if n, err = o.resolveObjects(); err != nil || n != 5000 {
+		t.Fatalf("agreeing sizes: %d, %v", n, err)
+	}
+	o = simOpts{dbsize: 5000, objects: 100}
+	if _, err = o.resolveObjects(); !errors.Is(err, experiment.ErrConflict) {
+		t.Fatalf("disagreeing sizes = %v, want ErrConflict", err)
+	}
+}
+
+func TestStorageFlagsReachConfig(t *testing.T) {
+	o := simOpts{
+		granularity: "hc", policy: "ewma-0.5", kind: "AQ", heat: "sh",
+		arrival: "poisson", coherenceS: "lease", seed: 1,
+		dbsize: 5000, bufratio: 0.05, storage: "file:/tmp/tier?sync=none",
+	}
+	cfg, err := o.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumObjects != 5000 || cfg.ServerBufferRatio != 0.05 ||
+		cfg.StorageDSN != "file:/tmp/tier?sync=none" {
+		t.Fatalf("storage flags lost: %+v", cfg)
+	}
+	base, err := o.expBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumObjects != 5000 || base.ServerBufferRatio != 0.05 ||
+		base.StorageDSN != "file:/tmp/tier?sync=none" {
+		t.Fatalf("exp base lost storage flags: %+v", base)
 	}
 }

@@ -200,6 +200,30 @@ func (e *RefreshEstimator) WriteCount(it oodb.Item) uint64 {
 // TrackedItems returns the number of items with observed writes.
 func (e *RefreshEstimator) TrackedItems() int { return len(e.streams) }
 
+// StreamState snapshots item's write-stream estimator state for
+// persistence. The boolean reports whether the item has any history.
+func (e *RefreshEstimator) StreamState(it oodb.Item) (stats.InterArrivalState, bool) {
+	i, ok := e.index[it]
+	if !ok {
+		return stats.InterArrivalState{}, false
+	}
+	return e.streams[i].State(), true
+}
+
+// RestoreStream installs a previously snapshotted write stream for item,
+// replacing any history the estimator already holds for it. A persistent
+// tier replays these at recovery so refresh-time estimates survive
+// restarts.
+func (e *RefreshEstimator) RestoreStream(it oodb.Item, st stats.InterArrivalState) {
+	i, ok := e.index[it]
+	if !ok {
+		i = int32(len(e.streams))
+		e.streams = append(e.streams, stats.InterArrival{})
+		e.index[it] = i
+	}
+	e.streams[i].Restore(st)
+}
+
 // Oracle evaluates read errors with perfect knowledge of server state. It
 // compares the version a client fetched against the server's current
 // version at read time: any interleaved write makes the read an error

@@ -6,6 +6,9 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/broadcast"
 	"repro/internal/client"
@@ -19,6 +22,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -86,6 +90,20 @@ type Config struct {
 	StorageObjects      int    // client storage cache (objects' worth of bytes)
 	MemBufferObjects    int    // client memory buffer
 	ServerBufferObjects int    // server memory buffer
+
+	// ServerBufferRatio sizes the server buffer as a fraction of the
+	// database (0 < r <= 1) when ServerBufferObjects is unset — the
+	// Experiment #11 axis. Zero keeps the paper's 25% default.
+	ServerBufferRatio float64
+
+	// StorageDSN, when non-empty, attaches a persistent disk tier behind
+	// the server buffer pool: "file:<dir>[?sync=group|always|none]"
+	// (internal/storage). Each run owns a per-run subdirectory under the
+	// DSN path, wiped at open, so sweeps at any -parallel width never
+	// share a log and reruns always start cold. The tier never perturbs
+	// simulated results (see server.StorageTier); its measured facts land
+	// in Result.StorageTier.
+	StorageDSN string
 
 	// Coherence.
 	Beta float64
@@ -202,6 +220,16 @@ func (c Config) FaultConfig() network.FaultConfig {
 	}
 }
 
+// ratioBuffer is the server buffer size a ratio derives for an n-object
+// database: rounded to the nearest object, never below one.
+func ratioBuffer(ratio float64, n int) int {
+	b := int(ratio*float64(n) + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
 // Defaults returns cfg with every unset field filled from Table 1.
 func Defaults(cfg Config) Config {
 	if cfg.Engine == "" {
@@ -227,8 +255,12 @@ func Defaults(cfg Config) Config {
 		cfg.MemBufferObjects = client.DefaultMemBufferObjects
 	}
 	if cfg.ServerBufferObjects == 0 {
-		// 25% of the database.
-		cfg.ServerBufferObjects = cfg.NumObjects / 4
+		if cfg.ServerBufferRatio > 0 {
+			cfg.ServerBufferObjects = ratioBuffer(cfg.ServerBufferRatio, cfg.NumObjects)
+		} else {
+			// 25% of the database.
+			cfg.ServerBufferObjects = cfg.NumObjects / 4
+		}
 	}
 	if cfg.CSHChangeEvery == 0 {
 		cfg.CSHChangeEvery = 500
@@ -327,6 +359,10 @@ type Result struct {
 
 	Server server.Stats
 
+	// StorageTier carries the persistent disk tier's end-of-run facts
+	// (zero when Config.StorageDSN was unset).
+	StorageTier TierStats
+
 	PerClient []PerClient
 
 	// Events counts the simulation events executed (summed across all cell
@@ -354,6 +390,25 @@ type Result struct {
 	PeerMisses uint64 // connected local misses that still went to the server
 }
 
+// TierStats is the persistent storage tier's end-of-run snapshot. Gets,
+// Puts, and Errors are deterministic workload facts (every run starts on
+// a cold tier, so the same config reproduces the same counts at any
+// -parallel width); Keys, DiskBytes, and the wall-clock latency quantiles
+// are measured disk facts — manifest and stderr material, never
+// deterministic-table material.
+type TierStats struct {
+	DSN    string
+	Gets   uint64 // buffer misses served by an existing tier record
+	Puts   uint64 // objects materialized on first touch
+	Errors uint64 // tier I/O failures (run continued on the model)
+
+	Keys      int
+	DiskBytes int64
+
+	GetP50ms, GetP99ms float64
+	PutP50ms, PutP99ms float64
+}
+
 // PerClient is a per-client measurement snapshot.
 type PerClient struct {
 	HitRatio     float64
@@ -371,7 +426,8 @@ func Run(cfg Config) Result {
 		NumObjects: cfg.NumObjects,
 		RelSeed:    rng.Derive(cfg.Seed, 0xdb).Uint64(),
 	})
-	srv := server.New(server.Config{
+	store := openStorageTier(cfg)
+	srvCfg := server.Config{
 		Kernel:        k,
 		DB:            db,
 		BufferObjects: cfg.ServerBufferObjects,
@@ -379,7 +435,11 @@ func Run(cfg Config) Result {
 		UpdateProb:    cfg.UpdateProb,
 		PrefetchKappa: cfg.PrefetchKappa,
 		Seed:          cfg.Seed,
-	})
+	}
+	if store != nil {
+		srvCfg.Storage = store
+	}
+	srv := server.New(srvCfg)
 	up := network.NewChannel(k, "uplink", network.WirelessBandwidthBps)
 	down := network.NewChannel(k, "downlink", network.WirelessBandwidthBps)
 
@@ -442,7 +502,16 @@ func Run(cfg Config) Result {
 	// series start at t = 0.
 	if cfg.Obs.Enabled() {
 		registerObservables(cfg, srv, up, down, upFaults, downFaults, program, clients, clientMetrics)
+		if store != nil {
+			store.Register(cfg.Obs)
+		}
 		cfg.Obs.Attach(k, cfg.Horizon())
+	} else if store != nil {
+		// Uninstrumented runs still measure tier latencies: a private
+		// registry (never attached, never sampled) hosts the histograms,
+		// so each run's LatencySummary works at any -parallel width
+		// without forcing the batch serial the way a shared cfg.Obs would.
+		store.Register(obs.New(0))
 	}
 
 	k.RunAll()
@@ -485,6 +554,21 @@ func Run(cfg Config) Result {
 	if irb != nil {
 		irReports, irBytes = irb.reports, irb.reportBytes
 	}
+	srvStats := srv.Stats()
+	var tier TierStats
+	if store != nil {
+		es := store.Stats()
+		g50, g99, p50, p99 := store.LatencySummary()
+		tier = TierStats{
+			DSN:  cfg.StorageDSN,
+			Gets: srvStats.StorageGets, Puts: srvStats.StoragePuts, Errors: srvStats.StorageErrors,
+			Keys: es.Keys, DiskBytes: es.DiskBytes,
+			GetP50ms: g50, GetP99ms: g99, PutP50ms: p50, PutP99ms: p99,
+		}
+		if err := store.Close(); err != nil {
+			panic(fmt.Sprintf("experiment: storage tier close: %v", err))
+		}
+	}
 	return Result{
 		Config:              cfg,
 		Events:              k.Steps(),
@@ -510,7 +594,8 @@ func Run(cfg Config) Result {
 		HourlyResponse:      hourlyMean,
 		HourlyQueries:       hourlyCount,
 		RadioEnergyPerQuery: energyPerQuery,
-		Server:              srv.Stats(),
+		Server:              srvStats,
+		StorageTier:         tier,
 		PerClient:           perClient,
 		IRReports:           irReports,
 		IRReportBytes:       irBytes,
@@ -519,6 +604,49 @@ func Run(cfg Config) Result {
 		PeerHits:            peerHits,
 		PeerMisses:          peerMisses,
 	}
+}
+
+// openStorageTier opens the run's persistent tier, or nil when no DSN is
+// configured. Every run gets its own cold subdirectory under the DSN
+// path — keyed by label and seed, wiped before open — so sweep runs at
+// any -parallel width never share a log, and a rerun of the same config
+// reproduces the same deterministic tier counters. Errors panic: Run's
+// contract is that Scenario validation already rejected a bad DSN
+// (ErrBadSpec from experiment.New).
+func openStorageTier(cfg Config) *storage.Store {
+	if cfg.StorageDSN == "" {
+		return nil
+	}
+	opts, err := storage.ParseDSN(cfg.StorageDSN)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	opts.Path = filepath.Join(opts.Path, tierRunDir(cfg))
+	if err := os.RemoveAll(opts.Path); err != nil {
+		panic(fmt.Sprintf("experiment: storage tier: %v", err))
+	}
+	st, err := storage.Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: storage tier: %v", err))
+	}
+	return st
+}
+
+// tierRunDir renders the per-run tier subdirectory from the run identity,
+// restricted to filename-safe characters.
+func tierRunDir(cfg Config) string {
+	name := fmt.Sprintf("%s-seed%d", cfg.String(), cfg.Seed)
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 // clientEnv bundles the substrate one group of clients attaches to: the

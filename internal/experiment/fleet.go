@@ -51,6 +51,9 @@ func RunFleet(cfg Config) Result {
 	if cfg.Coherence == coherence.InvalidationReportStrategy {
 		panic("experiment: invalidation reports are cell-wide broadcast; not supported with Cells > 1")
 	}
+	if cfg.StorageDSN != "" {
+		panic("experiment: persistent storage tier models one origin server; not supported with Cells > 1")
+	}
 	if cfg.NumClients < cfg.Cells {
 		panic(fmt.Sprintf("experiment: fleet of %d clients cannot populate %d cells",
 			cfg.NumClients, cfg.Cells))

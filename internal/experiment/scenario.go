@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/replacement"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -46,8 +47,11 @@ var (
 type Scenario struct {
 	cfg Config
 
-	setClients bool
-	setCells   bool
+	setClients      bool
+	setCells        bool
+	setObjects      bool
+	setServerBuffer bool
+	setBufferRatio  bool
 }
 
 // Option mutates a Scenario under construction; it returns an error
@@ -114,6 +118,31 @@ func (s *Scenario) validate() error {
 	if cfg.DisconnectedClients > clients {
 		return fmt.Errorf("WithDisconnection: %d disconnected of %d clients: %w",
 			cfg.DisconnectedClients, clients, ErrConflict)
+	}
+	if cfg.ServerBufferRatio < 0 || cfg.ServerBufferRatio > 1 {
+		return fmt.Errorf("WithBufferRatio(%g): %w", cfg.ServerBufferRatio, ErrOutOfRange)
+	}
+	if cfg.ServerBufferRatio > 0 && cfg.ServerBufferObjects > 0 {
+		// A replayed manifest records the resolved config — the ratio
+		// next to the exact buffer size it derived. That round trip is
+		// consistent; any other pairing is two answers to one question.
+		objects := cfg.NumObjects
+		if objects == 0 {
+			objects = Defaults(Config{}).NumObjects
+		}
+		if cfg.ServerBufferObjects != ratioBuffer(cfg.ServerBufferRatio, objects) {
+			return fmt.Errorf("WithBufferRatio(%g) and WithServerBuffer(%d) both size the buffer: %w",
+				cfg.ServerBufferRatio, cfg.ServerBufferObjects, ErrConflict)
+		}
+	}
+	if cfg.StorageDSN != "" {
+		if _, err := storage.ParseDSN(cfg.StorageDSN); err != nil {
+			return fmt.Errorf("WithStorage(%q): %w: %v", cfg.StorageDSN, ErrBadSpec, err)
+		}
+		if cfg.Cells > 1 {
+			return fmt.Errorf("WithStorage(%q) models one origin server, undefined for %d cells: %w",
+				cfg.StorageDSN, cfg.Cells, ErrConflict)
+		}
 	}
 	return nil
 }
@@ -185,13 +214,19 @@ func WithWarmupDays(days float64) Option {
 	}
 }
 
-// WithObjects sets the database size in objects (default 2000).
+// WithObjects sets the database size in objects (default 2000). It
+// conflicts with a WithDatabaseSize that named a different size.
 func WithObjects(n int) Option {
 	return func(s *Scenario) error {
 		if n < 1 {
 			return fmt.Errorf("WithObjects(%d): %w", n, ErrOutOfRange)
 		}
+		if s.setObjects && s.cfg.NumObjects != n {
+			return fmt.Errorf("WithObjects(%d) after objects=%d was set: %w",
+				n, s.cfg.NumObjects, ErrConflict)
+		}
 		s.cfg.NumObjects = n
+		s.setObjects = true
 		return nil
 	}
 }
@@ -299,12 +334,13 @@ func WithPolicy(spec string) Option {
 	}
 }
 
-// WithStorage sets the client cache sizes: storage in objects' worth of
-// bytes and the in-memory buffer in objects (0 keeps either default).
-func WithStorage(storageObjects, memBufferObjects int) Option {
+// WithClientCache sets the client cache sizes: storage in objects' worth
+// of bytes and the in-memory buffer in objects (0 keeps either default).
+// (Formerly WithStorage, which now names the server's persistent tier.)
+func WithClientCache(storageObjects, memBufferObjects int) Option {
 	return func(s *Scenario) error {
 		if storageObjects < 0 || memBufferObjects < 0 {
-			return fmt.Errorf("WithStorage(%d, %d): %w",
+			return fmt.Errorf("WithClientCache(%d, %d): %w",
 				storageObjects, memBufferObjects, ErrOutOfRange)
 		}
 		s.cfg.StorageObjects = storageObjects
@@ -314,13 +350,72 @@ func WithStorage(storageObjects, memBufferObjects int) Option {
 }
 
 // WithServerBuffer sets the server memory buffer in objects (split across
-// partitions on a fleet; default 25% of the database).
+// partitions on a fleet; default 25% of the database). It conflicts with
+// a WithBufferRatio that already sized the buffer.
 func WithServerBuffer(objects int) Option {
 	return func(s *Scenario) error {
 		if objects < 0 {
 			return fmt.Errorf("WithServerBuffer(%d): %w", objects, ErrOutOfRange)
 		}
+		if s.setBufferRatio {
+			return fmt.Errorf("WithServerBuffer(%d) after WithBufferRatio(%g): %w",
+				objects, s.cfg.ServerBufferRatio, ErrConflict)
+		}
 		s.cfg.ServerBufferObjects = objects
+		s.setServerBuffer = objects != 0
+		return nil
+	}
+}
+
+// WithDatabaseSize sets the database size in objects — the same knob as
+// WithObjects under the name Experiment #11's size sweep uses. The two
+// conflict when they name different sizes.
+func WithDatabaseSize(n int) Option {
+	return func(s *Scenario) error {
+		if n < 1 {
+			return fmt.Errorf("WithDatabaseSize(%d): %w", n, ErrOutOfRange)
+		}
+		if s.setObjects && s.cfg.NumObjects != n {
+			return fmt.Errorf("WithDatabaseSize(%d) after objects=%d was set: %w",
+				n, s.cfg.NumObjects, ErrConflict)
+		}
+		s.cfg.NumObjects = n
+		s.setObjects = true
+		return nil
+	}
+}
+
+// WithBufferRatio sizes the server buffer as a fraction of the database
+// (0 < r <= 1), so a size sweep keeps buffer pressure constant. It
+// conflicts with a WithServerBuffer that already fixed an object count.
+func WithBufferRatio(r float64) Option {
+	return func(s *Scenario) error {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("WithBufferRatio(%g): %w", r, ErrOutOfRange)
+		}
+		if s.setServerBuffer {
+			return fmt.Errorf("WithBufferRatio(%g) after WithServerBuffer(%d): %w",
+				r, s.cfg.ServerBufferObjects, ErrConflict)
+		}
+		s.cfg.ServerBufferRatio = r
+		s.setBufferRatio = true
+		return nil
+	}
+}
+
+// WithStorage puts a real persistent tier behind the simulated server's
+// buffer pool, named by DSN ("file:<dir>[?sync=group|always|none]"). The
+// DSN is parsed immediately; each run gets a cold per-run subdirectory
+// under the path. Simulated timing is unchanged — the tier is a measured
+// side effect reported in Result.StorageTier.
+func WithStorage(dsn string) Option {
+	return func(s *Scenario) error {
+		if dsn != "" {
+			if _, err := storage.ParseDSN(dsn); err != nil {
+				return fmt.Errorf("WithStorage(%q): %w: %v", dsn, ErrBadSpec, err)
+			}
+		}
+		s.cfg.StorageDSN = dsn
 		return nil
 	}
 }
@@ -623,6 +718,9 @@ func WithConfig(cfg Config) Option {
 		s.cfg = cfg
 		s.setClients = cfg.NumClients != 0
 		s.setCells = cfg.Cells != 0
+		s.setObjects = cfg.NumObjects != 0
+		s.setServerBuffer = cfg.ServerBufferObjects != 0
+		s.setBufferRatio = cfg.ServerBufferRatio != 0
 		return nil
 	}
 }

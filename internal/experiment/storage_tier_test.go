@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func tierConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Seed: 1, NumObjects: 400, NumClients: 4, Days: 0.05,
+		Granularity: core.HybridCaching, UpdateProb: 0.1,
+		ServerBufferRatio: 0.05,
+		StorageDSN:        "file:" + t.TempDir() + "?sync=none",
+	}
+}
+
+// TestRunWithStorageTier: a DSN-configured run stages buffer misses
+// through a real on-disk tier and reports the traffic in TierStats; the
+// simulated measurements are byte-identical to the same run without a
+// tier (the tier is a measured side effect, not a model change).
+func TestRunWithStorageTier(t *testing.T) {
+	cfg := tierConfig(t)
+	res := Run(cfg)
+	tier := res.StorageTier
+	if tier.DSN != cfg.StorageDSN {
+		t.Fatalf("TierStats.DSN = %q, want %q", tier.DSN, cfg.StorageDSN)
+	}
+	if tier.Puts == 0 {
+		t.Fatal("no objects materialized in the tier")
+	}
+	if tier.Errors != 0 {
+		t.Fatalf("tier errors: %d", tier.Errors)
+	}
+	if tier.Keys != int(tier.Puts) {
+		t.Fatalf("tier keys %d != puts %d (cold per-run directory must start empty)",
+			tier.Keys, tier.Puts)
+	}
+	if tier.DiskBytes <= 0 {
+		t.Fatalf("DiskBytes = %d, want > 0", tier.DiskBytes)
+	}
+	if tier.PutP50ms <= 0 || tier.PutP99ms < tier.PutP50ms {
+		t.Fatalf("put latency summary inconsistent: p50 %g, p99 %g",
+			tier.PutP50ms, tier.PutP99ms)
+	}
+
+	// The same config without the tier must produce identical simulated
+	// measurements — only TierStats and the server staging counters differ.
+	plain := cfg
+	plain.StorageDSN = ""
+	want := Run(plain)
+	got := res
+	got.StorageTier = TierStats{}
+	got.Server.StorageGets, got.Server.StoragePuts, got.Server.StorageErrors = 0, 0, 0
+	if !reflect.DeepEqual(stripConfig(got), stripConfig(want)) {
+		t.Fatalf("storage tier perturbed simulated results:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestRunWithStorageTierDeterministic: rerunning the same config hits the
+// same tier counters — the per-run directory is wiped before open, so a
+// replay never sees a warm tier.
+func TestRunWithStorageTierDeterministic(t *testing.T) {
+	cfg := tierConfig(t)
+	a, b := Run(cfg).StorageTier, Run(cfg).StorageTier
+	if a.Gets != b.Gets || a.Puts != b.Puts || a.Keys != b.Keys || a.DiskBytes != b.DiskBytes {
+		t.Fatalf("tier counters diverged across reruns:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestBufferRatioSizesBuffer: ServerBufferRatio scales the buffer with
+// the database; an explicit ServerBufferObjects still wins.
+func TestBufferRatioSizesBuffer(t *testing.T) {
+	cfg := Defaults(Config{NumObjects: 1000, ServerBufferRatio: 0.05})
+	if cfg.ServerBufferObjects != 50 {
+		t.Fatalf("ServerBufferObjects = %d, want 50", cfg.ServerBufferObjects)
+	}
+	cfg = Defaults(Config{NumObjects: 1000, ServerBufferObjects: 10, ServerBufferRatio: 0.05})
+	if cfg.ServerBufferObjects != 10 {
+		t.Fatalf("explicit buffer overridden: %d", cfg.ServerBufferObjects)
+	}
+	cfg = Defaults(Config{NumObjects: 1000})
+	if cfg.ServerBufferObjects != 250 {
+		t.Fatalf("default buffer = %d, want 25%% of the database", cfg.ServerBufferObjects)
+	}
+}
+
+// TestStorageScenarioOptions pins the new option surface: values applied,
+// conflicts and ranges named.
+func TestStorageScenarioOptions(t *testing.T) {
+	sc, err := New(
+		WithDatabaseSize(5000),
+		WithBufferRatio(0.1),
+		WithStorage("file:/tmp/tier?sync=none"),
+		WithClientCache(100, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config()
+	if cfg.NumObjects != 5000 || cfg.ServerBufferRatio != 0.1 ||
+		cfg.StorageDSN != "file:/tmp/tier?sync=none" ||
+		cfg.StorageObjects != 100 || cfg.MemBufferObjects != 10 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	if cfg.ServerBufferObjects != 500 {
+		t.Fatalf("ratio not folded into the buffer: %d", cfg.ServerBufferObjects)
+	}
+
+	cases := []struct {
+		name string
+		opts []Option
+		want error
+	}{
+		{"zero size", []Option{WithDatabaseSize(0)}, ErrOutOfRange},
+		{"ratio above 1", []Option{WithBufferRatio(1.5)}, ErrOutOfRange},
+		{"zero ratio", []Option{WithBufferRatio(0)}, ErrOutOfRange},
+		{"bad DSN", []Option{WithStorage("redis:/d")}, ErrBadSpec},
+		{"size contradicts objects", []Option{
+			WithObjects(100), WithDatabaseSize(200)}, ErrConflict},
+		{"objects contradict size", []Option{
+			WithDatabaseSize(200), WithObjects(100)}, ErrConflict},
+		{"ratio after explicit buffer", []Option{
+			WithServerBuffer(50), WithBufferRatio(0.1)}, ErrConflict},
+		{"explicit buffer after ratio", []Option{
+			WithBufferRatio(0.1), WithServerBuffer(50)}, ErrConflict},
+		{"storage on a fleet", []Option{
+			WithFleet(100, 4), WithStorage("file:/tmp/tier")}, ErrConflict},
+		{"bridged ratio conflict", []Option{
+			WithConfig(Config{ServerBufferRatio: 0.1, ServerBufferObjects: 50})}, ErrConflict},
+		{"bridged bad DSN", []Option{
+			WithConfig(Config{StorageDSN: "file:"})}, ErrBadSpec},
+		{"bridged ratio out of range", []Option{
+			WithConfig(Config{ServerBufferRatio: 2})}, ErrOutOfRange},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.opts...)
+			if err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("error %v does not wrap %v", err, c.want)
+			}
+		})
+	}
+
+	// Same size twice is not a conflict, in either spelling.
+	if _, err := New(WithObjects(100), WithDatabaseSize(100)); err != nil {
+		t.Fatalf("agreeing sizes rejected: %v", err)
+	}
+
+	// A replayed manifest records the resolved config: the ratio next to
+	// the exact buffer it derived. The round trip must validate.
+	resolved := Defaults(Config{NumObjects: 1000, ServerBufferRatio: 0.05})
+	if _, err := New(WithConfig(resolved)); err != nil {
+		t.Fatalf("resolved ratio+buffer round trip rejected: %v", err)
+	}
+}
+
+// TestExp11QuickShape: the quick grid runs without a tier (hermetic CI
+// smoke) and renders the full panel with tier columns dashed out.
+func TestExp11QuickShape(t *testing.T) {
+	rep := Exp11Quick(Config{Seed: 1, NumClients: 2, Days: 0.02})
+	if len(rep.Tables) != 1 {
+		t.Fatalf("quick grid has %d tables, want 1", len(rep.Tables))
+	}
+	if got := len(rep.Tables[0].Rows); got != 4 {
+		t.Fatalf("quick grid has %d rows, want 4 (2 sizes x 2 ratios)", got)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		if row[len(row)-1] != "-" || row[len(row)-2] != "-" {
+			t.Fatalf("quick grid row has live tier columns: %v", row)
+		}
+	}
+	if len(rep.Notes) != 0 {
+		t.Fatalf("quick grid emitted measured notes: %v", rep.Notes)
+	}
+	if !strings.Contains(rep.String(), "database size x server buffer") {
+		t.Fatalf("table title missing: %s", rep.String())
+	}
+}

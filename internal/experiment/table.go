@@ -77,14 +77,18 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Report bundles an experiment's raw results and formatted tables.
+// Report bundles an experiment's raw results and formatted tables. Notes
+// carry measured, machine-dependent facts (wall-clock storage latencies,
+// disk bytes) that belong next to the tables but must stay out of the
+// deterministic table hashes — report.Write hashes only Tables.
 type Report struct {
 	Name    string
 	Results []Result
 	Tables  []*Table
+	Notes   []string
 }
 
-// String renders all tables.
+// String renders all tables, then any notes.
 func (r *Report) String() string {
 	var b strings.Builder
 	for i, t := range r.Tables {
@@ -92,6 +96,12 @@ func (r *Report) String() string {
 			b.WriteString("\n")
 		}
 		b.WriteString(t.String())
+	}
+	for i, n := range r.Notes {
+		if i == 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
 }

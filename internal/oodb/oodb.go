@@ -143,3 +143,21 @@ func (db *Database) AttrVersion(oid OID, attr AttrID) uint64 {
 
 // TotalWrites returns the number of attribute writes applied database-wide.
 func (db *Database) TotalWrites() uint64 { return db.writes }
+
+// RestoreVersions overwrites oid's version counters with a previously
+// snapshotted state — the recovery path of a persistent tier replaying its
+// log. The database-wide write total is adjusted by the object-version
+// delta, preserving the invariant that TotalWrites equals the sum of
+// object versions.
+func (db *Database) RestoreVersions(oid OID, version uint64, attrVersions [NumAttrs]uint64) {
+	o := db.mustObject(oid)
+	db.writes += version - o.version
+	o.version = version
+	o.attrVersion = attrVersions
+}
+
+// AttrVersions returns a copy of oid's per-attribute version counters, the
+// companion snapshot call to RestoreVersions.
+func (db *Database) AttrVersions(oid OID) [NumAttrs]uint64 {
+	return db.mustObject(oid).attrVersion
+}

@@ -249,6 +249,16 @@ func Markdown(in Input) []byte {
 		}
 	}
 
+	// Notes are measured, machine-dependent facts (storage latencies, disk
+	// bytes); they ride in the report but are excluded from table hashing.
+	if in.Rep != nil && len(in.Rep.Notes) > 0 {
+		b.WriteString("## Notes\n\n")
+		for _, n := range in.Rep.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+		b.WriteString("\n")
+	}
+
 	b.WriteString("## Timelines\n\n")
 	writeTimelines(&b, in.Reg)
 

@@ -1,0 +1,440 @@
+// file.go is the persistent Store backend: the in-memory engine of
+// memory.go with a write-through persistence tier on internal/storage's
+// log-structured engine, so a mccached restart recovers the origin's
+// version counters, the lease estimators' write histories, and every
+// session's cached leases (docs/STORAGE.md).
+//
+// Persistence is per-record write-through, not transactional: each origin
+// write and each granted lease lands in the log as its own durable record
+// (group-committed), and recovery replays whatever subset survived a
+// crash. Leases are judged on the wall clock anchored at the store's
+// FIRST boot (the epoch persisted in the meta record), so a lease granted
+// before a restart keeps expiring through the downtime — restart never
+// extends validity.
+//
+// The log carries five record families, all JSON-valued:
+//
+//	m:config          store identity: schema config + boot epoch
+//	v:<oid>           origin version counters (object + per-attribute)
+//	sa:<oid>:<attr>   attribute-grain write-stream estimator state
+//	so:<oid>          object-grain write-stream estimator state
+//	e:<cid>:<oid>:<a> one session's cached lease for one unit (a=255: object)
+//
+// Cache entries persist until overwritten or invalidated; an entry evicted
+// by the replacement policy stays in the log and may become resident again
+// after a restart (recovery re-installs entries through the normal
+// byte-budgeted insert path, so capacity still binds).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/oodb"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// fileMeta is the persisted store identity: the schema-shaping
+// configuration (a reopen with different values would mis-key every
+// record) and the wall-clock epoch of the first boot.
+type fileMeta struct {
+	Granularity string  `json:"granularity"`
+	Policy      string  `json:"policy"`
+	NumObjects  int     `json:"num_objects"`
+	RelSeed     uint64  `json:"rel_seed"`
+	Beta        float64 `json:"beta"`
+	FixedLease  float64 `json:"fixed_lease_s"`
+	EpochUnixNS int64   `json:"epoch_unix_ns"`
+}
+
+// fileVersions is the persisted per-object origin state.
+type fileVersions struct {
+	Version uint64                `json:"version"`
+	Attrs   [oodb.NumAttrs]uint64 `json:"attrs"`
+}
+
+// File is the persistent Store: every read-path call delegates to the
+// embedded in-memory engine; mutations additionally write through to the
+// log before returning.
+type File struct {
+	*Memory
+	log *storage.Store
+	dsn string
+}
+
+const metaKey = "m:config"
+
+// openFileDSN is the registered factory for "file:<path>?sync=<mode>".
+func openFileDSN(dsn string, cfg Config) (Store, error) {
+	rest, ok := cutScheme(dsn)
+	if !ok || rest == "" {
+		return nil, fmt.Errorf("%w: file backend needs a path (file:/path/cache.db?sync=group)", ErrBadRequest)
+	}
+	path, query, _ := strings.Cut(rest, "?")
+	if path == "" {
+		return nil, fmt.Errorf("%w: file backend needs a path", ErrBadRequest)
+	}
+	mode := storage.SyncGroup
+	if query != "" {
+		vals, err := url.ParseQuery(query)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad file DSN query %q: %v", ErrBadRequest, query, err)
+		}
+		for k := range vals {
+			if k != "sync" {
+				return nil, fmt.Errorf("%w: unknown file DSN parameter %q (want sync)", ErrBadRequest, k)
+			}
+		}
+		if mode, err = storage.ParseSyncMode(vals.Get("sync")); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	return NewFile(path, mode, cfg)
+}
+
+// NewFile opens (or recovers) a persistent store rooted at path. A fresh
+// path initializes the log with the configuration's identity; an existing
+// one must have been created with the same granularity, policy, database
+// size, relationship seed, and lease parameters, and is replayed into the
+// in-memory engine before the store accepts requests.
+func NewFile(path string, mode storage.SyncMode, cfg Config) (*File, error) {
+	log, err := storage.Open(storage.Options{Path: path, Sync: mode})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	f, err := newFileOver(log, cfg)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	f.dsn = fmt.Sprintf("file:%s?sync=%s", path, mode)
+	return f, nil
+}
+
+func newFileOver(log *storage.Store, cfg Config) (*File, error) {
+	// Load or initialize the identity record; the epoch anchors the wall
+	// clock across restarts so leases expire through downtime.
+	raw, found, err := log.Get(metaKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var meta fileMeta
+	if found {
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return nil, fmt.Errorf("%w: corrupt meta record: %v", ErrBadRequest, err)
+		}
+	} else {
+		meta.EpochUnixNS = time.Now().UnixNano()
+	}
+	if cfg.Clock == nil {
+		epoch := meta.EpochUnixNS
+		cfg.Clock = func() float64 {
+			return float64(time.Now().UnixNano()-epoch) / 1e9
+		}
+	}
+	m, err := NewMemory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	effective := fileMeta{
+		Granularity: m.gran.String(),
+		Policy:      m.policy,
+		NumObjects:  m.org.db.NumObjects(),
+		RelSeed:     cfg.RelSeed,
+		Beta:        m.org.attrEst.Beta(),
+		FixedLease:  m.fixed,
+		EpochUnixNS: meta.EpochUnixNS,
+	}
+	if found && meta != effective {
+		return nil, fmt.Errorf("%w: store was created as %+v, reopened as %+v",
+			ErrBadRequest, meta, effective)
+	}
+	f := &File{Memory: m, log: log}
+	if found {
+		if err := f.recover(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := f.putJSON(metaKey, effective); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// recover replays the persisted records into the in-memory engine: origin
+// versions, estimator write streams, then session leases (sorted by key so
+// replacement state rebuilds deterministically for a given log).
+func (f *File) recover() error {
+	type kv struct {
+		key string
+		val []byte
+	}
+	var entries []kv
+	now := f.clock()
+	err := f.log.Scan("", func(key string, val []byte) bool {
+		entries = append(entries, kv{key, append([]byte(nil), val...)})
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+	batches := make(map[int][]core.BatchEntry)
+	var clients []int
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.key, "v:"):
+			oid, ok := parseOID(e.key[len("v:"):])
+			var fv fileVersions
+			if !ok || json.Unmarshal(e.val, &fv) != nil || !f.org.db.ValidOID(oid) {
+				return fmt.Errorf("%w: bad version record %q", ErrBadRequest, e.key)
+			}
+			f.org.db.RestoreVersions(oid, fv.Version, fv.Attrs)
+		case strings.HasPrefix(e.key, "sa:"), strings.HasPrefix(e.key, "so:"):
+			var it oodb.Item
+			var ok bool
+			est := f.org.objEst
+			if strings.HasPrefix(e.key, "sa:") {
+				est = f.org.attrEst
+				it, ok = parseItemKey(e.key[len("sa:"):])
+			} else {
+				var oid oodb.OID
+				if oid, ok = parseOID(e.key[len("so:"):]); ok {
+					it = oodb.ObjectItem(oid)
+				}
+			}
+			var st stats.InterArrivalState
+			if !ok || json.Unmarshal(e.val, &st) != nil {
+				return fmt.Errorf("%w: bad stream record %q", ErrBadRequest, e.key)
+			}
+			est.RestoreStream(it, st)
+		case strings.HasPrefix(e.key, "e:"):
+			cidStr, itemStr, ok := strings.Cut(e.key[len("e:"):], ":")
+			cid, cerr := strconv.Atoi(cidStr)
+			it, iok := parseItemKey(itemStr)
+			var entry core.Entry
+			if !ok || cerr != nil || !iok || json.Unmarshal(e.val, &entry) != nil {
+				return fmt.Errorf("%w: bad entry record %q", ErrBadRequest, e.key)
+			}
+			if _, seen := batches[cid]; !seen {
+				clients = append(clients, cid)
+			}
+			batches[cid] = append(batches[cid], core.BatchEntry{Item: it, Entry: entry})
+		}
+	}
+	for _, cid := range clients {
+		s := f.session(cid)
+		s.mu.Lock()
+		s.cache.InsertBatch(batches[cid], now)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// putJSON writes one JSON-valued record to the log.
+func (f *File) putJSON(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := f.log.Put(key, raw); err != nil {
+		return fmt.Errorf("serve: persist %s: %w", key, err)
+	}
+	return nil
+}
+
+// itemKey renders a cache unit as a log-key fragment: "<oid>:<attr>",
+// with the WholeObject sentinel (255) for object units.
+func itemKey(it oodb.Item) string {
+	return strconv.FormatUint(uint64(it.OID), 10) + ":" + strconv.FormatUint(uint64(it.Attr), 10)
+}
+
+func parseItemKey(s string) (oodb.Item, bool) {
+	oidStr, attrStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return oodb.Item{}, false
+	}
+	oid, err1 := strconv.ParseUint(oidStr, 10, 32)
+	attr, err2 := strconv.ParseUint(attrStr, 10, 8)
+	if err1 != nil || err2 != nil {
+		return oodb.Item{}, false
+	}
+	return oodb.Item{OID: oodb.OID(oid), Attr: oodb.AttrID(attr)}, true
+}
+
+func parseOID(s string) (oodb.OID, bool) {
+	oid, err := strconv.ParseUint(s, 10, 32)
+	return oodb.OID(oid), err == nil
+}
+
+func entryKey(clientID int, it oodb.Item) string {
+	return "e:" + strconv.Itoa(clientID) + ":" + itemKey(it)
+}
+
+// persistEntry writes through one granted lease.
+func (f *File) persistEntry(clientID int, it oodb.Item, e core.Entry) error {
+	return f.putJSON(entryKey(clientID, it), e)
+}
+
+// Read implements Store: delegate, then write through any installed copy.
+func (f *File) Read(clientID int, oid oodb.OID, attr oodb.AttrID, mode ReadMode) (ReadResult, error) {
+	res, err := f.Memory.Read(clientID, oid, attr, mode)
+	if err != nil || !res.FromOrigin {
+		return res, err
+	}
+	entry := core.Entry{Version: res.Version, ExpiresAt: res.ExpiresAt, FetchedAt: res.Now}
+	if perr := f.persistEntry(clientID, res.Item, entry); perr != nil {
+		return res, perr
+	}
+	return res, nil
+}
+
+// Fetch implements Store: delegate, then write through the installed batch.
+func (f *File) Fetch(clientID int, reads []workload.ReadOp) ([]FetchedItem, error) {
+	now := f.clock()
+	out, err := f.Memory.Fetch(clientID, reads)
+	if err != nil {
+		return out, err
+	}
+	for _, fi := range out {
+		entry := core.Entry{Version: fi.Version, ExpiresAt: fi.ExpiresAt, FetchedAt: now}
+		if perr := f.persistEntry(clientID, fi.Item, entry); perr != nil {
+			return out, perr
+		}
+	}
+	return out, nil
+}
+
+// Write implements Store: delegate, then write through the origin's new
+// version counters and the touched estimator streams. Snapshots are taken
+// under the origin lock after the write, so concurrent writers each
+// persist a state at least as new as their own write.
+func (f *File) Write(oid oodb.OID, attrs []oodb.AttrID) (uint64, error) {
+	version, err := f.Memory.Write(oid, attrs)
+	if err != nil {
+		return version, err
+	}
+
+	f.org.mu.Lock()
+	fv := fileVersions{Version: f.org.db.ObjectVersion(oid), Attrs: f.org.db.AttrVersions(oid)}
+	type streamRec struct {
+		key string
+		st  stats.InterArrivalState
+	}
+	recs := make([]streamRec, 0, len(attrs)+1)
+	for _, a := range attrs {
+		it := oodb.AttrItem(oid, a)
+		if st, ok := f.org.attrEst.StreamState(it); ok {
+			recs = append(recs, streamRec{"sa:" + itemKey(it), st})
+		}
+	}
+	if st, ok := f.org.objEst.StreamState(oodb.ObjectItem(oid)); ok {
+		recs = append(recs, streamRec{"so:" + strconv.FormatUint(uint64(oid), 10), st})
+	}
+	f.org.mu.Unlock()
+
+	if perr := f.putJSON("v:"+strconv.FormatUint(uint64(oid), 10), fv); perr != nil {
+		return version, perr
+	}
+	for _, r := range recs {
+		if perr := f.putJSON(r.key, r.st); perr != nil {
+			return version, perr
+		}
+	}
+	return version, nil
+}
+
+// Invalidate implements Store: delegate, then drop the persisted leases.
+func (f *File) Invalidate(clientID int, oid oodb.OID, attr oodb.AttrID) (int, error) {
+	removed, err := f.Memory.Invalidate(clientID, oid, attr)
+	if err != nil {
+		return removed, err
+	}
+	units, err := f.units(oid, attr)
+	if err != nil {
+		return removed, err
+	}
+	var clients []int
+	if clientID < 0 {
+		f.mu.RLock()
+		for cid := range f.sessions {
+			clients = append(clients, cid)
+		}
+		f.mu.RUnlock()
+	} else {
+		clients = []int{clientID}
+	}
+	for _, cid := range clients {
+		for _, it := range units {
+			if derr := f.log.Delete(entryKey(cid, it)); derr != nil {
+				return removed, fmt.Errorf("serve: persist invalidate: %w", derr)
+			}
+		}
+	}
+	return removed, nil
+}
+
+// Renew implements Store: delegate, then write through the refreshed lease.
+func (f *File) Renew(clientID int, oid oodb.OID, attr oodb.AttrID) (LeaseInfo, error) {
+	info, err := f.Memory.Renew(clientID, oid, attr)
+	if err != nil || !info.Cached {
+		return info, err
+	}
+	it := core.CoverItem(f.gran, oid, attr)
+	entry := core.Entry{Version: info.Version, ExpiresAt: info.ExpiresAt, FetchedAt: info.Now}
+	if perr := f.persistEntry(clientID, it, entry); perr != nil {
+		return info, perr
+	}
+	return info, nil
+}
+
+// Stats implements Store, adding the persistent tier's identity.
+func (f *File) Stats() Stats {
+	st := f.Memory.Stats()
+	st.Backend = "file"
+	st.DSN = redactDSN(f.dsn)
+	st.DiskBytes = f.log.DiskBytes()
+	return st
+}
+
+// redactDSN strips a file DSN's directory prefix, keeping only the final
+// path element: stats consumers learn which store served the run, not the
+// server's filesystem layout.
+func redactDSN(dsn string) string {
+	rest, ok := cutScheme(dsn)
+	if !ok {
+		return dsn
+	}
+	path, query, hasQuery := strings.Cut(rest, "?")
+	red := "…/" + filepath.Base(path)
+	if hasQuery {
+		red += "?" + query
+	}
+	return "file:" + red
+}
+
+// Register implements Store: the serve.* gauges plus the storage engine's
+// instruments (storage.* latency histograms and size gauges).
+func (f *File) Register(reg *obs.Registry) {
+	f.Memory.Register(reg)
+	f.log.Register(reg)
+}
+
+// Storage exposes the underlying engine (stats endpoints, tests).
+func (f *File) Storage() *storage.Store { return f.log }
+
+// Close flushes and closes the persistence tier. The store must not be
+// used afterwards.
+func (f *File) Close() error { return f.log.Close() }

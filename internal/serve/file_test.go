@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oodb"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// fileConfig is the shared scenario for persistence tests: object
+// granularity, fixed 10s leases, injectable clock.
+func fileConfig(clk *fakeClock) Config {
+	return Config{
+		Granularity: core.ObjectCaching,
+		NumObjects:  200,
+		FixedLease:  10,
+		Clock:       clk.Now,
+	}
+}
+
+func openFileStore(t *testing.T, path string, clk *fakeClock) *File {
+	t.Helper()
+	f, err := NewFile(path, storage.SyncGroup, fileConfig(clk))
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	return f
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	for _, want := range []string{"memory", "mem", "file"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Backends() = %v, missing %q", names, want)
+		}
+	}
+	_, err := Open("redis:localhost", Config{Granularity: core.ObjectCaching})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown backend = %v, want ErrBadRequest", err)
+	}
+	if !strings.Contains(err.Error(), "file") || !strings.Contains(err.Error(), "memory") {
+		t.Fatalf("registry error does not list registered backends: %v", err)
+	}
+	if _, err := Open("memory:stuff", Config{Granularity: core.ObjectCaching}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("memory backend with operands = %v, want ErrBadRequest", err)
+	}
+	if _, err := Open("file:", Config{Granularity: core.ObjectCaching}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("file backend without path = %v, want ErrBadRequest", err)
+	}
+	if _, err := Open("file:/tmp/x?sync=bogus", Config{Granularity: core.ObjectCaching}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad sync mode = %v, want ErrBadRequest", err)
+	}
+	if _, err := Open("file:/tmp/x?nope=1", Config{Granularity: core.ObjectCaching}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown DSN param = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestFileDSNOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache.db")
+	st, err := Open("file:"+dir+"?sync=none", Config{
+		Granularity: core.ObjectCaching, NumObjects: 50, FixedLease: 10,
+	})
+	if err != nil {
+		t.Fatalf("Open(file:...): %v", err)
+	}
+	f := st.(*File)
+	defer f.Close()
+	stats := f.Stats()
+	if stats.Backend != "file" {
+		t.Fatalf("Backend = %q, want file", stats.Backend)
+	}
+	if !strings.HasPrefix(stats.DSN, "file:…/cache.db") {
+		t.Fatalf("DSN = %q, want redacted path", stats.DSN)
+	}
+	if strings.Contains(stats.DSN, dir) {
+		t.Fatalf("DSN %q leaks the full path", stats.DSN)
+	}
+	if stats.DiskBytes <= 0 {
+		t.Fatalf("DiskBytes = %d, want > 0 (meta record)", stats.DiskBytes)
+	}
+}
+
+// TestFileRestartPreservesState is the tentpole's live-layer acceptance
+// check: cached leases, origin versions, and estimator write history all
+// survive a close + reopen.
+func TestFileRestartPreservesState(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache.db")
+	clk := &fakeClock{}
+	f := openFileStore(t, dir, clk)
+
+	// Install a lease for client 1 on object 5 and write object 7 twice.
+	res, err := f.Read(1, 5, 0, ModeServe)
+	if err != nil || !res.FromOrigin {
+		t.Fatalf("Read: %+v, %v", res, err)
+	}
+	if _, err := f.Write(7, []oodb.AttrID{0, 3}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	clk.Advance(2)
+	v2, err := f.Write(7, []oodb.AttrID{0})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	clk.Advance(3) // downtime: 5s total since the read at t=0
+	g := openFileStore(t, dir, clk)
+	defer g.Close()
+
+	// The lease survives and is still running (granted at 0, expires 10).
+	info, err := g.Lease(1, 5, 0)
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if !info.Cached || !info.Valid {
+		t.Fatalf("lease after restart = %+v, want cached+valid", info)
+	}
+	if info.Version != res.Version || info.ExpiresAt != res.ExpiresAt {
+		t.Fatalf("lease after restart = %+v, want version %d expires %g",
+			info, res.Version, res.ExpiresAt)
+	}
+	// A probe read classifies it as a hit, same as before the restart.
+	r2, err := g.Read(1, 5, 0, ModeProbe)
+	if err != nil || r2.State != core.Hit {
+		t.Fatalf("probe after restart = %+v, %v; want hit", r2, err)
+	}
+
+	// Origin versions survive: object 7 saw 3 attribute writes.
+	if got := g.org.db.ObjectVersion(7); got != v2 {
+		t.Fatalf("object 7 version after restart = %d, want %d", got, v2)
+	}
+	if got := g.org.db.AttrVersion(7, 0); got != 2 {
+		t.Fatalf("attr (7,0) version after restart = %d, want 2", got)
+	}
+	if got := g.org.db.TotalWrites(); got != 3 {
+		t.Fatalf("TotalWrites after restart = %d, want 3", got)
+	}
+
+	// Estimator write history survives: object 7's stream saw events at
+	// t=0 and t=2, so one 2s inter-arrival duration.
+	st, ok := g.org.objEst.StreamState(oodb.ObjectItem(7))
+	if !ok {
+		t.Fatal("object 7 write stream lost across restart")
+	}
+	if st.N != 1 || st.Mean != 2 {
+		t.Fatalf("stream state after restart = %+v, want n=1 mean=2", st)
+	}
+}
+
+// TestFileLeaseExpiresThroughDowntime pins the documented wall-clock
+// semantics: the store clock continues from the first boot's epoch, so a
+// lease that would have expired during downtime is stale after restart.
+func TestFileLeaseExpiresThroughDowntime(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache.db")
+	clk := &fakeClock{}
+	f := openFileStore(t, dir, clk)
+	if _, err := f.Read(0, 9, 0, ModeServe); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	clk.Advance(11) // lease was 10s; downtime overruns it
+	g := openFileStore(t, dir, clk)
+	defer g.Close()
+	info, err := g.Lease(0, 9, 0)
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if !info.Cached || info.Valid {
+		t.Fatalf("lease after overlong downtime = %+v, want cached but expired", info)
+	}
+	res, err := g.Read(0, 9, 0, ModeProbe)
+	if err != nil || res.State != core.Stale {
+		t.Fatalf("probe after overlong downtime = %+v, %v; want stale", res, err)
+	}
+}
+
+func TestFileInvalidateDropsPersistedLease(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache.db")
+	clk := &fakeClock{}
+	f := openFileStore(t, dir, clk)
+	if _, err := f.Read(2, 4, 0, ModeServe); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if n, err := f.Invalidate(2, 4, oodb.WholeObject); err != nil || n != 1 {
+		t.Fatalf("Invalidate = %d, %v; want 1", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g := openFileStore(t, dir, clk)
+	defer g.Close()
+	info, err := g.Lease(2, 4, 0)
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if info.Cached {
+		t.Fatalf("invalidated lease resurrected after restart: %+v", info)
+	}
+}
+
+func TestFileFetchAndRenewPersist(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache.db")
+	clk := &fakeClock{}
+	f := openFileStore(t, dir, clk)
+	out, err := f.Fetch(3, []workload.ReadOp{{OID: 11}, {OID: 12}})
+	if err != nil || len(out) != 2 {
+		t.Fatalf("Fetch = %v, %v", out, err)
+	}
+	clk.Advance(5)
+	info, err := f.Renew(3, 11, 0)
+	if err != nil || !info.Cached {
+		t.Fatalf("Renew = %+v, %v", info, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g := openFileStore(t, dir, clk)
+	defer g.Close()
+	// Object 11's lease was renewed at t=5 (expires 15); object 12's
+	// original lease from t=0 (expires 10) also survives.
+	i11, _ := g.Lease(3, 11, 0)
+	if !i11.Cached || i11.ExpiresAt != info.ExpiresAt {
+		t.Fatalf("renewed lease after restart = %+v, want expires %g", i11, info.ExpiresAt)
+	}
+	i12, _ := g.Lease(3, 12, 0)
+	if !i12.Cached || i12.ExpiresAt != out[1].ExpiresAt {
+		t.Fatalf("fetched lease after restart = %+v, want expires %g", i12, out[1].ExpiresAt)
+	}
+}
+
+func TestFileReopenRejectsMismatchedConfig(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache.db")
+	clk := &fakeClock{}
+	f := openFileStore(t, dir, clk)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	cfg := fileConfig(clk)
+	cfg.Granularity = core.AttributeCaching
+	if _, err := NewFile(dir, storage.SyncGroup, cfg); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("reopen with different granularity = %v, want ErrBadRequest", err)
+	}
+	cfg = fileConfig(clk)
+	cfg.NumObjects = 999
+	if _, err := NewFile(dir, storage.SyncGroup, cfg); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("reopen with different population = %v, want ErrBadRequest", err)
+	}
+}

@@ -469,6 +469,7 @@ func (m *Memory) Renew(clientID int, oid oodb.OID, attr oodb.AttrID) (LeaseInfo,
 func (m *Memory) Stats() Stats {
 	st := Stats{
 		Backend:       "memory",
+		DSN:           "memory",
 		Granularity:   m.gran.String(),
 		Policy:        m.policy,
 		Uptime:        m.clock(),

@@ -155,6 +155,14 @@ type LiveResult struct {
 	// both show up here). Large lags distort lease dynamics; keep the
 	// speedup low enough that this stays small against arrival gaps.
 	MaxLagVirtual float64
+
+	// Backend / BackendDSN / DiskBytes identify the tier that served the
+	// run, snapshotted from GET /v1/stats after the replay: livesmoke and
+	// -compare artifacts assert against these when exercising the
+	// persistent backend.
+	Backend    string
+	BackendDSN string
+	DiskBytes  int64
 }
 
 // Result converts the live measurements into the simulator's Result shape,
@@ -296,7 +304,32 @@ func Replay(ctx context.Context, rc ReplayConfig) (LiveResult, error) {
 	if lr.Reads > 0 {
 		lr.StaleRate = float64(lr.Stales) / float64(lr.Reads)
 	}
+	// Identify the tier that served the run. Advisory: a service that
+	// vanished right after the replay leaves the identity fields empty
+	// rather than failing a finished measurement.
+	if st, err := fetchStats(httpc, rc.BaseURL); err == nil {
+		lr.Backend = st.Backend
+		lr.BackendDSN = st.DSN
+		lr.DiskBytes = st.DiskBytes
+	}
 	return lr, nil
+}
+
+// fetchStats retrieves the service's stats snapshot.
+func fetchStats(httpc *http.Client, baseURL string) (Stats, error) {
+	var st Stats
+	resp, err := httpc.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return st, fmt.Errorf("serve: /v1/stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("serve: /v1/stats: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("serve: decode /v1/stats: %w", err)
+	}
+	return st, nil
 }
 
 // replayEnv bundles the immutable per-client replay context.

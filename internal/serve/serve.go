@@ -18,6 +18,9 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -119,8 +122,15 @@ type LeaseInfo struct {
 
 // Stats is a snapshot of a store's cumulative counters and cache state.
 type Stats struct {
-	// Backend names the implementation ("memory").
+	// Backend names the implementation ("memory", "file").
 	Backend string `json:"backend"`
+	// DSN echoes the backend string the store was opened with, with
+	// filesystem paths redacted to their final element (clients should not
+	// learn the server's directory layout from a stats endpoint).
+	DSN string `json:"dsn"`
+	// DiskBytes is the on-disk footprint of a persistent backend (0 for
+	// memory).
+	DiskBytes int64 `json:"disk_bytes"`
 	// Granularity and Policy echo the store configuration.
 	Granularity string `json:"granularity"`
 	Policy      string `json:"policy"`
@@ -223,15 +233,86 @@ type Config struct {
 	Clock func() float64
 }
 
-// Open constructs a store backend by name. "memory" (alias "mem") is the
-// in-memory backend; further backends (persistent, sharded) plug in here.
-func Open(backend string, cfg Config) (Store, error) {
-	switch backend {
-	case "", "memory", "mem":
-		return NewMemory(cfg)
-	default:
-		return nil, fmt.Errorf("%w: unknown backend %q (want memory)", ErrBadRequest, backend)
+// BackendFactory constructs a Store from a DSN. The DSN is the full
+// backend string as given to Open — "memory", or "file:/path?sync=group" —
+// so a factory can parse scheme-specific operands after its name.
+type BackendFactory func(dsn string, cfg Config) (Store, error)
+
+var (
+	backendsMu sync.RWMutex
+	backends   = make(map[string]BackendFactory)
+)
+
+// RegisterBackend installs a backend factory under name (the DSN scheme:
+// everything before the first ':'). Registering a duplicate name panics —
+// backends register from init functions, and a collision is a programming
+// error. The built-in backends are "memory" (alias "mem") and "file".
+func RegisterBackend(name string, factory BackendFactory) {
+	if name == "" || factory == nil {
+		panic("serve: RegisterBackend requires a name and a factory")
 	}
+	if strings.ContainsAny(name, ":?/") {
+		panic(fmt.Sprintf("serve: backend name %q may not contain ':', '?' or '/'", name))
+	}
+	backendsMu.Lock()
+	defer backendsMu.Unlock()
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("serve: backend %q registered twice", name))
+	}
+	backends[name] = factory
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	backendsMu.RLock()
+	defer backendsMu.RUnlock()
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Open constructs a store backend from a DSN: the backend name, optionally
+// followed by ':' and backend-specific operands. "" and "memory" select
+// the in-memory backend; "file:/path/cache.db?sync=group" opens (or
+// recovers) a persistent store at the path. Unknown names return
+// ErrBadRequest listing what is registered.
+func Open(dsn string, cfg Config) (Store, error) {
+	name := dsn
+	if i := strings.IndexByte(dsn, ':'); i >= 0 {
+		name = dsn[:i]
+	}
+	if name == "" {
+		name = "memory"
+	}
+	backendsMu.RLock()
+	factory := backends[name]
+	backendsMu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("%w: unknown backend %q (registered: %s)",
+			ErrBadRequest, name, strings.Join(Backends(), ", "))
+	}
+	return factory(dsn, cfg)
+}
+
+func init() {
+	memory := func(dsn string, cfg Config) (Store, error) {
+		if rest, ok := cutScheme(dsn); ok && rest != "" {
+			return nil, fmt.Errorf("%w: memory backend takes no operands (got %q)", ErrBadRequest, dsn)
+		}
+		return NewMemory(cfg)
+	}
+	RegisterBackend("memory", memory)
+	RegisterBackend("mem", memory)
+	RegisterBackend("file", openFileDSN)
+}
+
+// cutScheme splits "name:rest" and reports whether a ':' was present.
+func cutScheme(dsn string) (rest string, ok bool) {
+	_, rest, ok = strings.Cut(dsn, ":")
+	return rest, ok
 }
 
 // leaseFor computes the lease duration granted for item at now: the

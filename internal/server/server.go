@@ -7,8 +7,10 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/buffer"
 	"repro/internal/coherence"
@@ -39,6 +41,19 @@ const (
 	prefetchMinSamples = 100
 )
 
+// StorageTier is the persistent disk tier behind the memory buffer — the
+// log-structured engine of internal/storage (or a test double). On every
+// buffer miss the server reads the object's record from the tier, lazily
+// materializing objects on first touch, so a database far larger than RAM
+// exercises a real on-disk working set. The tier is a measured side
+// effect: simulated timing still charges the modeled disk constants, so
+// results remain byte-deterministic across machines and sync modes while
+// the tier's wall-clock latencies land in its own histograms.
+type StorageTier interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, value []byte) error
+}
+
 // Config parameterizes the server.
 type Config struct {
 	Kernel *sim.Kernel
@@ -60,6 +75,9 @@ type Config struct {
 	// and 100 Mbps when non-zero.
 	DiskBandwidthBps   float64
 	MemoryBandwidthBps float64
+	// Storage, when non-nil, is the persistent tier behind the buffer pool
+	// (see StorageTier).
+	Storage StorageTier
 }
 
 // Request is a client query as seen by the server. Wire size is computed
@@ -153,6 +171,16 @@ type Server struct {
 	// prefetchBuf backs prefetchSet's result; consumed before the next call.
 	prefetchBuf []oodb.AttrID
 
+	// Persistent tier (nil when the run has none). storeKey/storeVal are
+	// reusable buffers for key rendering and lazy payload materialization;
+	// touched only between yields.
+	store       StorageTier
+	storeKey    []byte
+	storeVal    []byte
+	storeGets   uint64 // buffer misses served by an existing tier record
+	storePuts   uint64 // objects materialized into the tier on first touch
+	storeErrors uint64 // tier I/O failures (the run continues on the model)
+
 	queriesServed  uint64
 	diskReads      uint64
 	bufferHits     uint64
@@ -221,6 +249,7 @@ func New(cfg Config) *Server {
 		updateProb:       cfg.UpdateProb,
 		updateRnd:        rng.Derive(cfg.Seed, 0x5e7e7),
 		prefetchKappa:    kappa,
+		store:            cfg.Storage,
 		heat:             make(map[int]*clientHeat),
 		scratch:          make(map[int]*reqScratch),
 		oidStamp:         make(map[oodb.OID]uint64),
@@ -281,8 +310,50 @@ func (s *Server) stageObject(p *sim.Proc, oid oodb.OID) {
 		return
 	}
 	s.diskReads++
+	if s.store != nil {
+		s.stageDurable(oid)
+	}
 	s.disk.Use(p, s.diskSecPerObject)
 	s.buf.Put(oid, struct{}{})
+}
+
+// stageDurable mirrors a buffer miss onto the persistent tier: read the
+// object's record, writing it on first touch (the tier fills lazily with
+// the workload's actual working set, so a 1M-object database only pays
+// disk for what the heat distribution reaches). Tier failures are counted
+// and the run continues on the modeled disk — the tier is a measured side
+// effect, never a simulated dependency.
+func (s *Server) stageDurable(oid oodb.OID) {
+	s.storeKey = append(s.storeKey[:0], 'o', ':')
+	s.storeKey = strconv.AppendUint(s.storeKey, uint64(oid), 10)
+	key := string(s.storeKey)
+	_, ok, err := s.store.Get(key)
+	if err != nil {
+		s.storeErrors++
+		return
+	}
+	if ok {
+		s.storeGets++
+		return
+	}
+	if err := s.store.Put(key, s.objectPayload(oid)); err != nil {
+		s.storeErrors++
+		return
+	}
+	s.storePuts++
+}
+
+// objectPayload renders oid's on-disk image: ObjectSize bytes filled with
+// a deterministic oid-derived pattern, reusing one scratch buffer. The
+// engine copies what it appends, so reuse is safe.
+func (s *Server) objectPayload(oid oodb.OID) []byte {
+	if s.storeVal == nil {
+		s.storeVal = make([]byte, oodb.ObjectSize)
+	}
+	for i := 0; i+8 <= len(s.storeVal); i += 8 {
+		binary.LittleEndian.PutUint64(s.storeVal[i:], uint64(oid)*0x9e3779b97f4a7c15+uint64(i))
+	}
+	return s.storeVal
 }
 
 // applyUpdates flips the per-object update coin and applies writes. order
@@ -466,7 +537,10 @@ func (s *Server) collectDistinct(reads []workload.ReadOp, out []oodb.OID) []oodb
 	return out
 }
 
-// Stats bundles server-side counters for experiment logs.
+// Stats bundles server-side counters for experiment logs. The Storage*
+// counters are deterministic facts of the workload (how many buffer
+// misses hit an existing tier record vs materialized one), not measured
+// latencies — those live in the storage engine's own histograms.
 type Stats struct {
 	QueriesServed   uint64
 	DiskReads       uint64
@@ -474,6 +548,9 @@ type Stats struct {
 	UpdatesApplied  uint64
 	BufferHitRatio  float64
 	DiskUtilization float64
+	StorageGets     uint64
+	StoragePuts     uint64
+	StorageErrors   uint64
 }
 
 // Register wires the server's load and health into an observability
@@ -507,5 +584,8 @@ func (s *Server) Stats() Stats {
 		UpdatesApplied:  s.updatesApplied,
 		BufferHitRatio:  s.buf.HitRatio(),
 		DiskUtilization: s.disk.Utilization(),
+		StorageGets:     s.storeGets,
+		StoragePuts:     s.storePuts,
+		StorageErrors:   s.storeErrors,
 	}
 }

@@ -245,3 +245,28 @@ func (ia *InterArrival) Std() float64 { return ia.W.Std() }
 // Last returns the timestamp of the most recent event and whether one has
 // been observed.
 func (ia *InterArrival) Last() (float64, bool) { return ia.last, ia.hasLast }
+
+// InterArrivalState is the full serializable state of an InterArrival
+// estimator — what a persistent tier must carry to rebuild a write stream
+// across restarts (exported fields so callers can marshal it directly).
+type InterArrivalState struct {
+	Last    float64 `json:"last"`
+	HasLast bool    `json:"has_last"`
+	N       uint64  `json:"n"`
+	Mean    float64 `json:"mean"`
+	M2      float64 `json:"m2"`
+}
+
+// State snapshots the estimator.
+func (ia *InterArrival) State() InterArrivalState {
+	return InterArrivalState{
+		Last: ia.last, HasLast: ia.hasLast,
+		N: ia.W.n, Mean: ia.W.mean, M2: ia.W.m2,
+	}
+}
+
+// Restore overwrites the estimator with a previously snapshotted state.
+func (ia *InterArrival) Restore(st InterArrivalState) {
+	ia.last, ia.hasLast = st.Last, st.HasLast
+	ia.W = Welford{n: st.N, mean: st.Mean, m2: st.M2}
+}

@@ -1,0 +1,231 @@
+// compact.go is the garbage collector of the segment log: superseded and
+// tombstoned records accumulate in sealed segments until a merge rewrites
+// the live ones into a single merge segment and deletes the rest.
+//
+// Correctness hinges on recovery order: segments replay in ID order and
+// later records win. The merge output takes the *lowest* sealed segment's
+// ID, so every record written after the snapshot (they all live in the
+// active segment, whose ID is higher) still supersedes the merged copies
+// on replay. Keys updated or deleted mid-merge are detected at swap time
+// by comparing index entries, so the merge never resurrects stale data.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// maybeCompact kicks background compaction when sealed garbage crosses the
+// configured thresholds. Single-flight: at most one compactor runs.
+func (s *Store) maybeCompact() {
+	if s.opts.CompactGarbage < 0 {
+		return
+	}
+	s.mu.Lock()
+	garbage := s.sealedBytes - s.sealedLive
+	trigger := !s.compacting && !s.closed &&
+		garbage >= s.opts.CompactMinBytes &&
+		s.sealedBytes > 0 &&
+		float64(garbage) >= s.opts.CompactGarbage*float64(s.sealedBytes)
+	if trigger {
+		s.compacting = true
+		s.compactWG.Add(1)
+	}
+	s.mu.Unlock()
+	if trigger {
+		go func() {
+			defer s.compactWG.Done()
+			s.compact()
+			s.mu.Lock()
+			s.compacting = false
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Compact synchronously merges all sealed segments, rewriting live records
+// and deleting superseded ones. Safe to call concurrently with reads and
+// writes; concurrent updates simply make the merged copy garbage for the
+// next round.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.compacting {
+		s.mu.Unlock()
+		s.compactWG.Wait()
+		return nil
+	}
+	s.compacting = true
+	s.compactWG.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+		s.compactWG.Done()
+	}()
+	return s.compact()
+}
+
+// mergeItem is one record the compactor carries from a sealed segment to
+// the merge output.
+type mergeItem struct {
+	key   string
+	old   indexEntry
+	moved indexEntry
+}
+
+// compact performs one merge pass. See the file comment for the ordering
+// argument.
+func (s *Store) compact() error {
+	// Snapshot: sealed segment set and the live entries residing in it.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	activeID := s.active.id
+	sealed := make(map[int]*segment)
+	minID := activeID
+	for id, seg := range s.segs {
+		if id != activeID {
+			sealed[id] = seg
+			if id < minID {
+				minID = id
+			}
+		}
+	}
+	var items []mergeItem
+	for key, e := range s.index {
+		if _, ok := sealed[e.seg]; ok {
+			items = append(items, mergeItem{key: key, old: e})
+		}
+	}
+	s.mu.Unlock()
+	if len(sealed) == 0 {
+		return nil
+	}
+
+	// Rewrite live records into a temp file. Sealed records are immutable
+	// and their read handles stay open (Close waits on compactWG), so
+	// reading without the lock is safe.
+	var mergePath string
+	var mergeSize int64
+	if len(items) > 0 {
+		tmp, err := os.CreateTemp(s.opts.Path, "merge-*.tmp")
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		mergePath = tmp.Name()
+		var off int64
+		ok := false
+		defer func() {
+			if !ok {
+				os.Remove(mergePath)
+			}
+		}()
+		for i := range items {
+			it := &items[i]
+			buf := make([]byte, it.old.size)
+			if _, err := sealed[it.old.seg].r.ReadAt(buf, it.old.off); err != nil {
+				tmp.Close()
+				return fmt.Errorf("storage: %w", err)
+			}
+			if _, _, _, err := decodeRecord(buf); err != nil {
+				tmp.Close()
+				return err
+			}
+			if _, err := tmp.Write(buf); err != nil {
+				tmp.Close()
+				return fmt.Errorf("storage: %w", err)
+			}
+			it.moved = indexEntry{seg: minID, off: off, size: it.old.size,
+				keyLen: it.old.keyLen, valLen: it.old.valLen}
+			off += it.old.size
+		}
+		if s.opts.Sync != SyncNone {
+			if err := s.opts.Fsync(tmp); err != nil {
+				tmp.Close()
+				return fmt.Errorf("storage: fsync: %w", err)
+			}
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		mergeSize = off
+		ok = true
+	}
+
+	// Swap: under the write lock, retire the sealed files and install the
+	// merge segment. Entries that changed since the snapshot keep their
+	// newer location; their merged copies become garbage for next time.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if mergePath != "" {
+			os.Remove(mergePath)
+		}
+		return ErrClosed
+	}
+	for id, seg := range sealed {
+		if seg.r != nil {
+			seg.r.Close()
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		delete(s.segs, id)
+	}
+	if mergePath != "" {
+		dst := s.segPath(minID)
+		if err := os.Rename(mergePath, dst); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		r, err := os.Open(dst)
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		s.segs[minID] = &segment{id: minID, path: dst, r: r, size: mergeSize}
+		for _, it := range items {
+			if cur, okc := s.index[it.key]; okc && cur == it.old {
+				s.index[it.key] = it.moved
+			}
+		}
+	}
+	if err := s.syncDirLocked(); err != nil {
+		return err
+	}
+	s.recomputeSealed()
+	s.compactions++
+	return nil
+}
+
+// syncDirLocked fsyncs the storage directory so segment creation and
+// removal are durable (skipped under SyncNone). Caller holds mu.
+func (s *Store) syncDirLocked() error {
+	if s.opts.Sync == SyncNone {
+		return nil
+	}
+	d, err := os.Open(s.opts.Path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// RemoveAll deletes the store's directory tree — test and tooling helper
+// for resetting a path between runs. The store must be closed.
+func RemoveAll(path string) error {
+	if path == "" || path == string(filepath.Separator) {
+		return fmt.Errorf("%w: refusing to remove %q", ErrBadOptions, path)
+	}
+	return os.RemoveAll(path)
+}

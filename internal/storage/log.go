@@ -1,0 +1,151 @@
+// log.go holds the on-disk record framing and the recovery scan. The
+// format (docs/STORAGE.md) is a flat stream of CRC-framed records:
+//
+//	[ crc32c uint32 | keyLen uint32 | valLen uint32 | flags byte | key | value ]
+//
+// all integers little-endian, the CRC covering everything after itself.
+// flags bit 0 marks a tombstone (valLen is then 0). There is no segment
+// header or footer: a crash can only damage the final record of the final
+// segment, which the CRC detects and recovery truncates away.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// recordHeaderSize is the fixed framing prefix: CRC + keyLen + valLen +
+// flags.
+const recordHeaderSize = 4 + 4 + 4 + 1
+
+// maxKeyLen / maxValueLen bound record fields so a corrupt length cannot
+// drive a giant allocation during recovery.
+const (
+	maxKeyLen   = 1 << 16
+	maxValueLen = 1 << 26
+)
+
+const flagTombstone = 1
+
+// encodeRecord frames one record.
+func encodeRecord(key string, value []byte, tombstone bool) []byte {
+	rec := make([]byte, recordHeaderSize+len(key)+len(value))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(value)))
+	if tombstone {
+		rec[12] = flagTombstone
+	}
+	copy(rec[recordHeaderSize:], key)
+	copy(rec[recordHeaderSize+len(key):], value)
+	binary.LittleEndian.PutUint32(rec, crc32.Checksum(rec[4:], crcTable))
+	return rec
+}
+
+// decodeRecord parses and CRC-checks one framed record.
+func decodeRecord(rec []byte) (key string, value []byte, tombstone bool, err error) {
+	if len(rec) < recordHeaderSize {
+		return "", nil, false, fmt.Errorf("%w: short record (%d bytes)", ErrCorrupt, len(rec))
+	}
+	if binary.LittleEndian.Uint32(rec) != crc32.Checksum(rec[4:], crcTable) {
+		return "", nil, false, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	keyLen := int(binary.LittleEndian.Uint32(rec[4:]))
+	valLen := int(binary.LittleEndian.Uint32(rec[8:]))
+	if recordHeaderSize+keyLen+valLen != len(rec) {
+		return "", nil, false, fmt.Errorf("%w: length mismatch", ErrCorrupt)
+	}
+	key = string(rec[recordHeaderSize : recordHeaderSize+keyLen])
+	value = rec[recordHeaderSize+keyLen:]
+	return key, value, rec[12]&flagTombstone != 0, nil
+}
+
+// replaySegment scans segment id sequentially, applying every valid record
+// to the index. On a framing or CRC failure in the final segment the file
+// is truncated at the last valid record (the torn tail of a crashed
+// append); anywhere else the damage is surfaced as ErrCorrupt.
+func (s *Store) replaySegment(id int, last bool) error {
+	path := s.segPath(id)
+	r, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	seg := &segment{id: id, path: path, r: r}
+	s.segs[id] = seg
+
+	br := bufio.NewReaderSize(r, 1<<20)
+	var off int64
+	header := make([]byte, recordHeaderSize)
+	var body []byte
+	for {
+		if _, err := io.ReadFull(br, header); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end of segment
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return s.truncateTail(seg, off, last, "torn header")
+			}
+			return fmt.Errorf("storage: %w", err)
+		}
+		keyLen := int(binary.LittleEndian.Uint32(header[4:]))
+		valLen := int(binary.LittleEndian.Uint32(header[8:]))
+		if keyLen < 0 || keyLen > maxKeyLen || valLen < 0 || valLen > maxValueLen {
+			return s.truncateTail(seg, off, last, "implausible lengths")
+		}
+		if cap(body) < keyLen+valLen {
+			body = make([]byte, keyLen+valLen)
+		}
+		body = body[:keyLen+valLen]
+		if _, err := io.ReadFull(br, body); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return s.truncateTail(seg, off, last, "torn body")
+			}
+			return fmt.Errorf("storage: %w", err)
+		}
+		crc := crc32.Checksum(header[4:], crcTable)
+		crc = crc32.Update(crc, crcTable, body)
+		if binary.LittleEndian.Uint32(header) != crc {
+			return s.truncateTail(seg, off, last, "CRC mismatch")
+		}
+
+		size := int64(recordHeaderSize + keyLen + valLen)
+		key := string(body[:keyLen])
+		if old, ok := s.index[key]; ok {
+			s.liveBytes -= old.size
+		}
+		if header[12]&flagTombstone != 0 {
+			delete(s.index, key)
+		} else {
+			s.index[key] = indexEntry{seg: id, off: off, size: size, keyLen: keyLen, valLen: valLen}
+			s.liveBytes += size
+		}
+		s.recovered++
+		off += size
+		seg.size = off
+	}
+	seg.size = off
+	return nil
+}
+
+// truncateTail handles a framing failure at offset off of seg: in the
+// final segment it is a torn append — cut it off and continue; elsewhere
+// it is corruption the caller must hear about.
+func (s *Store) truncateTail(seg *segment, off int64, last bool, reason string) error {
+	if !last {
+		return fmt.Errorf("%w: segment %d at offset %d: %s", ErrCorrupt, seg.id, off, reason)
+	}
+	fi, err := os.Stat(seg.path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.truncatedBytes += fi.Size() - off
+	if err := os.Truncate(seg.path, off); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	seg.size = off
+	return nil
+}

@@ -14,21 +14,28 @@
 #           100-client run at 1/2/4/8 cells plus the relay-cache point
 #           (cells scale across the worker pool), and the Proc-vs-SM
 #           engine race at 100 and 1000 clients    -> BENCH_fleet.json
+#   storage the log-structured persistence engine: point reads against a
+#           100K-record store, group-committed durable inserts, and
+#           cold-start log replay (the ROADMAP's file-backed regime:
+#           insert < 20ms, get < 4ms)              -> BENCH_storage.json
 #
 # Environment knobs:
-#   BENCH_TIME        go -benchtime for the kernel benches   (default 200x)
-#   BENCH_MODEL_TIME  go -benchtime for the model benches    (default 20000x)
-#   BENCH_FLEET_TIME  go -benchtime for the fleet benches    (default 1x)
-#   BENCH_COUNT       go -count repetitions                  (default 1)
+#   BENCH_TIME          go -benchtime for the kernel benches   (default 200x)
+#   BENCH_MODEL_TIME    go -benchtime for the model benches    (default 20000x)
+#   BENCH_FLEET_TIME    go -benchtime for the fleet benches    (default 1x)
+#   BENCH_STORAGE_TIME  go -benchtime for the storage benches  (default 100x)
+#   BENCH_COUNT         go -count repetitions                  (default 1)
 #   SKIP_SWEEP        non-empty skips the (slow) full-sweep benchmark
 #   SKIP_MODEL        non-empty skips the model suite
 #   SKIP_FLEET        non-empty skips the fleet suite
+#   SKIP_STORAGE      non-empty skips the storage suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-200x}"
 BENCH_MODEL_TIME="${BENCH_MODEL_TIME:-20000x}"
 BENCH_FLEET_TIME="${BENCH_FLEET_TIME:-1x}"
+BENCH_STORAGE_TIME="${BENCH_STORAGE_TIME:-100x}"
 BENCH_COUNT="${BENCH_COUNT:-1}"
 
 # emit_json RAW OUT — distill `go test -bench` output into a JSON summary.
@@ -91,4 +98,14 @@ if [ -z "${SKIP_FLEET:-}" ]; then
     go test -run '^$' -bench '^BenchmarkFleet' -benchmem \
         -benchtime "$BENCH_FLEET_TIME" -count "$BENCH_COUNT" . | tee "$raw"
     emit_json "$raw" BENCH_fleet.json
+fi
+
+# The storage suite measures real disk I/O (group-committed inserts are
+# fsync-bound), so its numbers are the most machine-sensitive of the
+# four; benchguard holds them to the same loose regression factor.
+if [ -z "${SKIP_STORAGE:-}" ]; then
+    go test -run '^$' -bench '^BenchmarkStorage(Get|Insert|Recover)$' -benchmem \
+        -benchtime "$BENCH_STORAGE_TIME" -count "$BENCH_COUNT" \
+        ./internal/storage | tee "$raw"
+    emit_json "$raw" BENCH_storage.json
 fi

@@ -1,68 +1,91 @@
 #!/usr/bin/env bash
-# benchguard.sh — CI gate against kernel hot-path regressions.
+# benchguard.sh — CI gate against hot-path regressions.
 #
-# Re-runs the steady-state per-event kernel benchmarks (the KernelHoldLoop
-# class: tight hold loops and resource contention on both execution
-# engines) and compares each against the ns_per_op recorded in the
-# committed BENCH_kernel.json. A bench running more than REGRESSION_FACTOR
-# (default 2.0) times slower than its committed baseline fails the build.
+# Two gate passes, each re-running a benchmark class and comparing every
+# bench against the ns_per_op recorded in its committed baseline JSON:
+#
+#   kernel   the steady-state per-event benchmarks (the KernelHoldLoop
+#            class: tight hold loops and resource contention on both
+#            execution engines)            vs BENCH_kernel.json
+#   storage  the persistence engine (point reads, group-committed
+#            inserts, cold-start recovery) vs BENCH_storage.json
+#
+# A bench running more than REGRESSION_FACTOR (default 2.0) times slower
+# than its committed baseline fails the build.
 #
 # The factor is deliberately loose: CI machines differ from the machine
-# that recorded the baseline, and these benches are single-digit
-# microseconds. The gate exists to catch accidental O(n) work or
+# that recorded the baseline, the kernel benches are single-digit
+# microseconds, and the storage benches are fsync-bound (disk-speed
+# sensitive). The gate exists to catch accidental O(n) work or
 # allocation on the per-event path — 10x-class regressions — not 20%
-# drift. Benches without a committed baseline are reported and skipped, so
-# adding a benchmark does not require updating the JSON in the same
-# commit.
+# drift. Benches without a committed baseline are reported and skipped,
+# so adding a benchmark does not require updating the JSON in the same
+# commit; a missing baseline file skips its whole pass the same way.
 #
 # Environment knobs:
 #   REGRESSION_FACTOR  failure threshold vs baseline   (default 2.0)
-#   BENCH_TIME         go -benchtime                   (default 200x)
+#   BENCH_TIME         go -benchtime for the kernel pass  (default 200x)
+#   BENCH_STORAGE_TIME go -benchtime for the storage pass (default 100x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="BENCH_kernel.json"
 FACTOR="${REGRESSION_FACTOR:-2.0}"
 BENCH_TIME="${BENCH_TIME:-200x}"
-GUARD='^BenchmarkKernel(StateMachine)?(HoldLoop|ResourceContention|ManyMachines)$'
-
-[ -f "$BASELINE" ] || { echo "benchguard: $BASELINE missing; run scripts/bench.sh first" >&2; exit 1; }
+BENCH_STORAGE_TIME="${BENCH_STORAGE_TIME:-100x}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench "$GUARD" -benchtime "$BENCH_TIME" ./internal/sim | tee "$raw"
 
-awk -v factor="$FACTOR" -v baseline="$BASELINE" '
-# Pass 1: committed baselines — lines like {"name": "KernelHoldLoop", ..., "ns_per_op": 560.5, ...}
-FILENAME == baseline && /"name"/ {
-    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
-    ns = $0;   sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
-    base[name] = ns + 0
-    next
-}
-# Pass 2: fresh run — "BenchmarkKernelHoldLoop-8   200   571.2 ns/op ..."
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    sub(/^Benchmark/, "", name)
-    fresh = $3 + 0
-    checked++
-    if (!(name in base)) {
-        printf("benchguard: %-45s %12.1f ns/op  (no baseline, skipped)\n", name, fresh)
+# guard BASELINE REGEX PKG BENCHTIME — one gate pass: re-run the benches
+# matching REGEX in PKG and hold each to FACTOR times its entry in
+# BASELINE.
+guard() {
+    local baseline="$1" regex="$2" pkg="$3" benchtime="$4"
+    if [ ! -f "$baseline" ]; then
+        echo "benchguard: $baseline missing; run scripts/bench.sh first (pass skipped)" >&2
+        return 0
+    fi
+    go test -run '^$' -bench "$regex" -benchtime "$benchtime" "$pkg" | tee "$raw"
+
+    awk -v factor="$FACTOR" -v baseline="$baseline" '
+    # Pass 1: committed baselines — lines like {"name": "KernelHoldLoop", ..., "ns_per_op": 560.5, ...}
+    FILENAME == baseline && /"name"/ {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = $0;   sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        base[name] = ns + 0
         next
     }
-    ratio = base[name] > 0 ? fresh / base[name] : 0
-    verdict = ratio > factor ? "FAIL" : "ok"
-    printf("benchguard: %-45s %12.1f ns/op  baseline %12.1f  ratio %.2fx  %s\n",
-           name, fresh, base[name], ratio, verdict)
-    if (ratio > factor) failures++
-}
-END {
-    if (checked == 0) { print "benchguard: no benchmarks ran" > "/dev/stderr"; exit 1 }
-    if (failures > 0) {
-        printf("benchguard: %d benchmark(s) regressed beyond %.1fx of %s\n",
-               failures, factor, baseline) > "/dev/stderr"
-        exit 1
+    # Pass 2: fresh run — "BenchmarkKernelHoldLoop-8   200   571.2 ns/op ..."
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        sub(/^Benchmark/, "", name)
+        fresh = $3 + 0
+        checked++
+        if (!(name in base)) {
+            printf("benchguard: %-45s %12.1f ns/op  (no baseline, skipped)\n", name, fresh)
+            next
+        }
+        ratio = base[name] > 0 ? fresh / base[name] : 0
+        verdict = ratio > factor ? "FAIL" : "ok"
+        printf("benchguard: %-45s %12.1f ns/op  baseline %12.1f  ratio %.2fx  %s\n",
+               name, fresh, base[name], ratio, verdict)
+        if (ratio > factor) failures++
     }
-    printf("benchguard: %d benchmark(s) within %.1fx of committed baselines\n", checked, factor)
-}' "$BASELINE" "$raw"
+    END {
+        if (checked == 0) { print "benchguard: no benchmarks ran" > "/dev/stderr"; exit 1 }
+        if (failures > 0) {
+            printf("benchguard: %d benchmark(s) regressed beyond %.1fx of %s\n",
+                   failures, factor, baseline) > "/dev/stderr"
+            exit 1
+        }
+        printf("benchguard: %d benchmark(s) within %.1fx of committed baselines\n", checked, factor)
+    }' "$baseline" "$raw"
+}
+
+guard BENCH_kernel.json \
+    '^BenchmarkKernel(StateMachine)?(HoldLoop|ResourceContention|ManyMachines)$' \
+    ./internal/sim "$BENCH_TIME"
+guard BENCH_storage.json \
+    '^BenchmarkStorage(Get|Insert|Recover)$' \
+    ./internal/storage "$BENCH_STORAGE_TIME"

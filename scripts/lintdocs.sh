@@ -41,10 +41,11 @@ done < <(go list -f '{{.Dir}}' ./...)
 # engine, the repo's front door), internal/broadcast plus
 # internal/coherence (the scheme catalog docs/COHERENCE.md documents), and
 # the live serving layer — internal/serve and the mccached/mcload binaries
-# (the endpoint catalog docs/SERVING.md documents). Every exported
+# (the endpoint catalog docs/SERVING.md documents) — and internal/storage,
+# the persistence engine docs/STORAGE.md documents. Every exported
 # top-level declaration must carry a doc comment directly above it (same
 # rule go doc applies).
-for dir in internal/obs internal/report internal/experiment internal/broadcast internal/coherence internal/serve cmd/mccached cmd/mcload; do
+for dir in internal/obs internal/report internal/experiment internal/broadcast internal/coherence internal/serve internal/storage cmd/mccached cmd/mcload; do
     for f in "$dir"/*.go; do
         [ -e "$f" ] || continue
         case "$f" in *_test.go) continue ;; esac

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # livesmoke.sh — loopback live-replay smoke: build mccached and mcload, boot
 # the service on an ephemeral loopback port, replay the quick scenario
-# against it, and verify the report artifacts landed. CI runs this after
-# the unit suites; run it locally as `scripts/livesmoke.sh [outdir]`.
+# against it, and verify the report artifacts landed. A second leg reruns
+# the replay against the persistent file backend, restarts the service, and
+# verifies the recovered store still holds the replay's sessions and cache
+# state. CI runs this after the unit suites; run it locally as
+# `scripts/livesmoke.sh [outdir]`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,21 +26,35 @@ trap cleanup EXIT
 go build -o "$workdir/mccached" ./cmd/mccached
 go build -o "$workdir/mcload" ./cmd/mcload
 
-# Boot on port 0 and learn the kernel-assigned address from -addr-file.
-# The service flags must mirror the replay's config: same seed, objects,
+# boot BACKEND — start mccached on port 0 with the shared replay config
+# and wait for the kernel-assigned address to land in -addr-file. The
+# service flags must mirror the replay's config: same seed, objects,
 # granularity (mcload -quick replays 400 objects under AC).
-"$workdir/mccached" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-    -seed "$seed" -objects 400 -granularity ac &
-server_pid=$!
+boot() {
+    : > "$workdir/addr"
+    "$workdir/mccached" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+        -seed "$seed" -objects 400 -granularity ac -backend "$1" &
+    server_pid=$!
+    for _ in $(seq 1 50); do
+        [ -s "$workdir/addr" ] && break
+        kill -0 "$server_pid" 2>/dev/null || { echo "livesmoke: mccached died" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$workdir/addr" ] || { echo "livesmoke: no bound address after 5s" >&2; exit 1; }
+    addr="$(cat "$workdir/addr")"
+}
 
-for _ in $(seq 1 50); do
-    [ -s "$workdir/addr" ] && break
-    kill -0 "$server_pid" 2>/dev/null || { echo "livesmoke: mccached died" >&2; exit 1; }
-    sleep 0.1
-done
-[ -s "$workdir/addr" ] || { echo "livesmoke: no bound address after 5s" >&2; exit 1; }
-addr="$(cat "$workdir/addr")"
+# stop — drain the running service; a clean SIGTERM shutdown closes the
+# store, so a persistent backend leaves no torn tail for the next boot.
+stop() {
+    kill -TERM "$server_pid"
+    wait "$server_pid" || { echo "livesmoke: mccached exited dirty" >&2; exit 1; }
+    server_pid=""
+}
 
+# ---- leg 1: in-memory backend, report artifacts -------------------------
+
+boot memory
 "$workdir/mcload" -url "http://$addr" -quick -seed "$seed" -speedup 1500 \
     -compare -report "$outdir"
 
@@ -46,5 +63,30 @@ for f in manifest.json report.md; do
 done
 grep -q '"live": true' "$outdir/manifest.json" \
     || { echo "livesmoke: manifest not flagged live" >&2; exit 1; }
+stop
 
-echo "livesmoke: OK (report in $outdir)"
+# ---- leg 2: file backend, replay, restart, verify warm state ------------
+
+dsn="file:$workdir/cache.db?sync=group"
+boot "$dsn"
+"$workdir/mcload" -url "http://$addr" -quick -seed "$seed" -speedup 1500
+before="$(curl -sf "http://$addr/v1/stats")"
+stop
+
+boot "$dsn"
+after="$(curl -sf "http://$addr/v1/stats")"
+stop
+
+for snap in "$before" "$after"; do
+    jq -e '.backend == "file" and .disk_bytes > 0' <<<"$snap" >/dev/null \
+        || { echo "livesmoke: stats not reporting the file backend: $snap" >&2; exit 1; }
+done
+jq -e '.sessions > 0 and .cache_items > 0' <<<"$before" >/dev/null \
+    || { echo "livesmoke: replay left no state to recover: $before" >&2; exit 1; }
+for field in sessions cache_items cache_bytes; do
+    b="$(jq ".$field" <<<"$before")"
+    a="$(jq ".$field" <<<"$after")"
+    [ "$b" = "$a" ] || { echo "livesmoke: $field not recovered: $b before restart, $a after" >&2; exit 1; }
+done
+
+echo "livesmoke: OK (report in $outdir; persistent restart recovered state)"
